@@ -1,0 +1,135 @@
+#include <memory>
+
+#include "bench/common.h"
+
+namespace dcqcn {
+namespace bench {
+namespace {
+
+std::vector<RdmaNic*> AllHosts(const ClosTopology& t) {
+  std::vector<RdmaNic*> hosts;
+  for (const auto& per_tor : t.hosts_by_tor) {
+    hosts.insert(hosts.end(), per_tor.begin(), per_tor.end());
+  }
+  return hosts;
+}
+
+// Starts a closed-loop transfer stream: `bytes` messages back-to-back on one
+// warm QP; every completion is recorded into `out` (goodput, Gbps) and the
+// next message enqueued immediately.
+SenderQp* ClosedLoop(Network& net, RdmaNic* src, RdmaNic* dst, Bytes bytes,
+                     TransportMode mode, uint64_t salt, Cdf* out) {
+  FlowSpec f;
+  f.flow_id = net.NextFlowId();
+  f.src_host = src->id();
+  f.dst_host = dst->id();
+  f.size_bytes = bytes;
+  f.mode = mode;
+  f.ecmp_salt = salt;
+  SenderQp* qp = net.StartFlow(f);
+  const int id = f.flow_id;
+  // The first transfer spans the experiment's cold start (every flow still
+  // converging); skip it in the statistics like the paper's warmed runs.
+  auto seen = std::make_shared<int>(0);
+  src->AddCompletionCallback([out, qp, id, bytes, seen](const FlowRecord& r) {
+    if (r.spec.flow_id != id) return;
+    if (out != nullptr && (*seen)++ > 0) out->Add(r.goodput() / 1e9);
+    qp->EnqueueMessage(bytes);
+  });
+  return qp;
+}
+
+SenderQp* Greedy(Network& net, RdmaNic* src, RdmaNic* dst,
+                 TransportMode mode, uint64_t salt) {
+  FlowSpec f;
+  f.flow_id = net.NextFlowId();
+  f.src_host = src->id();
+  f.dst_host = dst->id();
+  f.size_bytes = 0;
+  f.mode = mode;
+  f.ecmp_salt = salt;
+  return net.StartFlow(f);
+}
+
+}  // namespace
+
+UnfairnessResult RunUnfairness(TransportMode mode, Time duration_per_run,
+                               int repeats, uint64_t seed_base) {
+  UnfairnessResult res;
+  res.per_host.resize(4);
+  for (int run = 0; run < repeats; ++run) {
+    Network net(seed_base + static_cast<uint64_t>(run));
+    ClosTopology topo = BuildClos(net, 3, TopologyOptions{});
+    RdmaNic* receiver = topo.host(3, 1);
+    RdmaNic* senders[4] = {topo.host(0, 0), topo.host(0, 1), topo.host(0, 2),
+                           topo.host(3, 0)};
+    for (int h = 0; h < 4; ++h) {
+      const uint64_t salt = seed_base * 1000 + static_cast<uint64_t>(
+                                run * 17 + h * 131);
+      ClosedLoop(net, senders[h], receiver, 4000 * kKB, mode, salt,
+                 &res.per_host[static_cast<size_t>(h)]);
+    }
+    net.RunFor(duration_per_run);
+  }
+  return res;
+}
+
+Cdf RunVictim(TransportMode mode, int t3_senders, Time duration_per_run,
+              int repeats, uint64_t seed_base) {
+  DCQCN_CHECK(t3_senders >= 0 && t3_senders <= 2);
+  // One median per run, so runs with fast victims (which complete many more
+  // transfers) do not dominate the pooled statistic.
+  Cdf run_medians;
+  for (int run = 0; run < repeats; ++run) {
+    const auto salt0 = seed_base + static_cast<uint64_t>(run) * 7919;
+    Network net(salt0);
+    ClosTopology topo = BuildClos(net, 5, TopologyOptions{});
+    RdmaNic* r = topo.host(3, 0);
+    // H11-H14 incast into R.
+    for (int h = 0; h < 4; ++h) {
+      Greedy(net, topo.host(0, h), r, mode,
+             salt0 + static_cast<uint64_t>(h));
+    }
+    // Extra senders under T3 into R (the congestion NOT on VS's path).
+    for (int h = 0; h < t3_senders; ++h) {
+      Greedy(net, topo.host(2, h), r, mode,
+             salt0 + 100 + static_cast<uint64_t>(h));
+    }
+    // Victim: VS (under T1) -> VR (under T2), 2 MB transfers.
+    Cdf victim;
+    ClosedLoop(net, topo.host(0, 4), topo.host(1, 0), 2000 * kKB, mode,
+               salt0 + 200, &victim);
+    net.RunFor(duration_per_run);
+    if (!victim.empty()) run_medians.Add(victim.Quantile(0.5));
+  }
+  return run_medians;
+}
+
+TrafficResult RunBenchmarkTraffic(TransportMode mode, int incast_degree,
+                                  int num_pairs, Time duration,
+                                  uint64_t seed,
+                                  const TopologyOptions& topo_opts) {
+  Network net(seed);
+  ClosTopology topo = BuildClos(net, 5, topo_opts);
+  BenchmarkTrafficOptions opt;
+  opt.num_pairs = num_pairs;
+  opt.incast_degree = incast_degree;
+  opt.mode = mode;
+  opt.seed = seed;
+  BenchmarkTraffic traffic(net, AllHosts(topo), opt);
+  traffic.Begin();
+  net.RunFor(duration);
+
+  TrafficResult res;
+  res.user = traffic.user_goodput();
+  res.incast = traffic.incast_goodput();
+  for (auto* s : topo.spines) {
+    res.spine_pauses += s->counters().pause_frames_received;
+  }
+  res.total_pauses = net.TotalPauseFramesSent();
+  res.drops = net.TotalDrops();
+  return res;
+}
+
+}  // namespace bench
+}  // namespace dcqcn

@@ -1,0 +1,60 @@
+// Shared experiment runners for the figure-reproduction benches.
+//
+// Each paper experiment that appears twice (with and without DCQCN) has a
+// single parameterized runner here, so the PFC-only and DCQCN benches are
+// guaranteed to differ in nothing but the transport mode.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "net/topology.h"
+#include "stats/stats.h"
+#include "trace/workload.h"
+
+namespace dcqcn {
+namespace bench {
+
+// ---------- Fig. 3 / Fig. 8: parking-lot unfairness on the testbed ----------
+//
+// H1-H3 under T1, H4 under T4, all sending 4 MB transfers back-to-back to R
+// (also under T4). Per-transfer goodputs are pooled over `repeats` runs with
+// different ECMP salts ("depending on how ECMP maps the flows").
+struct UnfairnessResult {
+  std::vector<Cdf> per_host;  // goodput (Gbps) of H1..H4
+};
+
+UnfairnessResult RunUnfairness(TransportMode mode, Time duration_per_run,
+                               int repeats, uint64_t seed_base);
+
+// ---------- Fig. 4 / Fig. 9: victim flow ----------
+//
+// H11-H14 (under T1) run a greedy incast into R (under T4); VS (under T1)
+// sends 2 MB transfers to VR (under T2); `t3_senders` extra greedy senders
+// under T3 also target R. Returns the pooled victim per-transfer goodputs.
+Cdf RunVictim(TransportMode mode, int t3_senders, Time duration_per_run,
+              int repeats, uint64_t seed_base);
+
+// ---------- §6.2 benchmark traffic (Figs. 15-18) ----------
+struct TrafficResult {
+  Cdf user;    // per-transfer goodput, Gbps
+  Cdf incast;  // per-rebuild-flow goodput, Gbps
+  int64_t spine_pauses = 0;  // PAUSE frames received at S1+S2
+  int64_t total_pauses = 0;  // PAUSE frames sent anywhere
+  int64_t drops = 0;
+};
+
+TrafficResult RunBenchmarkTraffic(TransportMode mode, int incast_degree,
+                                  int num_pairs, Time duration,
+                                  uint64_t seed,
+                                  const TopologyOptions& topo_opts);
+
+inline TopologyOptions DefaultTopo() { return TopologyOptions{}; }
+
+// Convenience quantile printers.
+inline double Q(const Cdf& c, double p) {
+  return c.empty() ? 0.0 : c.Quantile(p);
+}
+
+}  // namespace bench
+}  // namespace dcqcn

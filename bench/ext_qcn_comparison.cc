@@ -1,0 +1,105 @@
+// Extension — QCN vs DCQCN (§2.3 made executable).
+//
+// The paper rejects QCN because its feedback is L2-addressed and cannot
+// cross a routed hop. We implemented QCN (core/qcn.h) and demonstrate both
+// halves of the argument:
+//   1. within one L2 domain (a single switch), QCN controls congestion
+//      and shares bandwidth like DCQCN does;
+//   2. across the IP-routed Clos testbed, QCN's notifications die at the
+//      first L3 boundary, remote senders never slow down, and PFC must
+//      carry the congestion — with all its collateral damage — while
+//      DCQCN's IP-routable CNPs keep the fabric quiet.
+#include <cstdio>
+
+#include "net/topology.h"
+#include "stats/monitor.h"
+
+using namespace dcqcn;
+
+namespace {
+
+QcnParams QcnOn() {
+  QcnParams q;
+  q.enabled = true;
+  return q;
+}
+
+void SingleSwitch(TransportMode mode, const char* label) {
+  TopologyOptions opt;
+  if (mode == TransportMode::kQcn) {
+    opt.switch_config.red.enabled = false;
+    opt.switch_config.qcn = QcnOn();
+  }
+  Network net(5);
+  StarTopology topo = BuildStar(net, 3, opt);
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec f;
+    f.flow_id = i;
+    f.src_host = topo.hosts[static_cast<size_t>(i)]->id();
+    f.dst_host = topo.hosts[2]->id();
+    f.size_bytes = 0;
+    f.mode = mode;
+    f.start_time = i * Milliseconds(5);
+    net.StartFlow(f);
+  }
+  net.RunFor(Milliseconds(60));
+  Bytes b0[2];
+  for (int i = 0; i < 2; ++i) {
+    b0[i] = topo.hosts[2]->ReceiverDeliveredBytes(i);
+  }
+  net.RunFor(Milliseconds(20));
+  double r[2];
+  for (int i = 0; i < 2; ++i) {
+    r[i] = static_cast<double>(topo.hosts[2]->ReceiverDeliveredBytes(i) -
+                               b0[i]) * 8 / 20e-3 / 1e9;
+  }
+  std::printf("  %-8s f1 %6.2f  f2 %6.2f Gbps   (fair: 20/20)\n", label,
+              r[0], r[1]);
+}
+
+void ClosIncast(TransportMode mode, const char* label) {
+  TopologyOptions opt;
+  if (mode == TransportMode::kQcn) {
+    opt.switch_config.red.enabled = false;
+    opt.switch_config.qcn = QcnOn();
+  }
+  Network net(5);
+  ClosTopology topo = BuildClos(net, 5, opt);
+  for (int h = 0; h < 4; ++h) {
+    FlowSpec f;
+    f.flow_id = h;
+    f.src_host = topo.host(0, h)->id();
+    f.dst_host = topo.host(3, 0)->id();
+    f.size_bytes = 0;
+    f.mode = mode;
+    net.StartFlow(f);
+  }
+  net.RunFor(Milliseconds(25));
+  int64_t fb_dropped = 0;
+  for (const auto& sw : net.switches()) {
+    fb_dropped += sw->counters().qcn_feedback_dropped;
+  }
+  std::printf("  %-8s PAUSE frames %7lld   QCN feedback dropped at L3 "
+              "%7lld\n",
+              label, static_cast<long long>(net.TotalPauseFramesSent()),
+              static_cast<long long>(fb_dropped));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Extension: QCN vs DCQCN\n\n");
+  std::printf("(1) one L2 domain — two staggered flows, one switch:\n");
+  SingleSwitch(TransportMode::kQcn, "QCN");
+  SingleSwitch(TransportMode::kRdmaDcqcn, "DCQCN");
+
+  std::printf("\n(2) IP-routed Clos — 4:1 cross-pod incast:\n");
+  ClosIncast(TransportMode::kQcn, "QCN");
+  ClosIncast(TransportMode::kRdmaDcqcn, "DCQCN");
+
+  std::printf(
+      "\npaper's argument (§2.3): QCN works inside an L2 domain but its "
+      "feedback cannot reach senders across routed hops; DCQCN's CNPs can "
+      "— so only DCQCN silences PFC on the routed fabric.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 11 — fluid-model parameter sweeps for convergence (§5.2).
+//
+// Two flows start at 40 and 5 Gbps; the metric is the mean |R1 - R2| over
+// the second half of a 200 ms solve (the z-axis of the paper's 3-D plots;
+// lower = better convergence). Four sweeps:
+//   (a) byte counter with strawman parameters — bigger B helps but slowly
+//   (b) rate-increase timer with a 10 MB byte counter — faster timer wins
+//   (c) Kmax with strawman parameters — RED-like marking helps
+//   (d) Pmax with Kmax = 200 KB — smaller Pmax helps
+// Also prints the §5.1 fixed point (p < 1% for deployment parameters).
+#include <cstdio>
+
+#include "fluid/fluid_model.h"
+#include "fluid/sweep.h"
+
+using namespace dcqcn;
+
+namespace {
+
+double Converge(const FluidParams& p) {
+  return TwoFlowConvergence(p).mean_abs_diff_gbps;
+}
+
+FluidParams Strawman() {
+  return FluidParams::FromDcqcn(DcqcnParams::Strawman(), Gbps(40), 2);
+}
+
+}  // namespace
+
+int main() {
+  {
+    const FluidParams dep =
+        FluidParams::FromDcqcn(DcqcnParams::Deployment(), Gbps(40), 2);
+    const FluidFixedPoint fp = SolveFixedPoint(dep);
+    std::printf("Section 5.1 fixed point (2 flows, deployment params): "
+                "p = %.4f%% (paper: < 1%%), stable queue = %.1f KB\n\n",
+                fp.p * 100, fp.queue_bytes / 1e3);
+  }
+
+  std::printf("Figure 11(a): byte counter sweep, strawman params "
+              "(T = 1.5 ms, cut-off marking)\n");
+  std::printf("%-14s %22s\n", "byte counter", "mean |R1-R2| (Gbps)");
+  for (Bytes b : {150 * kKB, 500 * kKB, 1000 * kKB, 3000 * kKB,
+                  10000 * kKB}) {
+    FluidParams p = Strawman();
+    p.byte_counter_packets = static_cast<double>(b) / kMtu;
+    std::printf("%10lld KB %22.2f\n", static_cast<long long>(b / 1000),
+                Converge(p));
+  }
+
+  std::printf("\nFigure 11(b): timer sweep with 10 MB byte counter "
+              "(cut-off marking)\n");
+  std::printf("%-14s %22s\n", "timer", "mean |R1-R2| (Gbps)");
+  for (double t_us : {55.0, 150.0, 300.0, 600.0, 1500.0}) {
+    FluidParams p = Strawman();
+    p.byte_counter_packets = 10e6 / kMtu;
+    p.timer_seconds = t_us * 1e-6;
+    std::printf("%10.0f us %22.2f\n", t_us, Converge(p));
+  }
+
+  std::printf("\nFigure 11(c): Kmax sweep with strawman params "
+              "(Kmin = 40 KB, Pmax = 10%%)\n");
+  std::printf("%-14s %22s\n", "Kmax", "mean |R1-R2| (Gbps)");
+  for (Bytes kmax : {41 * kKB, 80 * kKB, 200 * kKB, 400 * kKB,
+                     800 * kKB}) {
+    FluidParams p = Strawman();
+    p.kmin = 40 * kKB;
+    p.kmax = kmax;
+    p.pmax = 0.10;
+    std::printf("%10lld KB %22.2f\n", static_cast<long long>(kmax / 1000),
+                Converge(p));
+  }
+
+  std::printf("\nFigure 11(d): Pmax sweep with Kmax = 200 KB (strawman "
+              "timers)\n");
+  std::printf("%-14s %22s\n", "Pmax", "mean |R1-R2| (Gbps)");
+  for (double pmax : {1.0, 0.5, 0.1, 0.01}) {
+    FluidParams p = Strawman();
+    p.kmin = 5 * kKB;
+    p.kmax = 200 * kKB;
+    p.pmax = pmax;
+    std::printf("%10.0f %% %22.2f\n", pmax * 100, Converge(p));
+  }
+
+  std::printf("\npaper shape: strawman does not converge; slowing the byte "
+              "counter or speeding the timer fixes it, as does RED-like "
+              "marking with small Pmax\n");
+  return 0;
+}

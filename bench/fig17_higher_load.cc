@@ -1,0 +1,47 @@
+// Figure 17 — "with DCQCN, we can handle 16x more user traffic, without
+// performance degradation."
+//
+// Incast degree fixed at 10; compare 5 communicating pairs WITHOUT DCQCN
+// against 80 pairs WITH DCQCN. The paper's CDFs overlap: DCQCN at 16x load
+// matches (or beats) PFC-only at 1x.
+#include "bench/common.h"
+
+using namespace dcqcn;
+using namespace dcqcn::bench;
+
+int main() {
+  const Time kDuration = Milliseconds(40);
+  const auto light =
+      RunBenchmarkTraffic(TransportMode::kRdmaRaw, /*incast_degree=*/10,
+                          /*num_pairs=*/5, kDuration, 21, DefaultTopo());
+  const auto heavy =
+      RunBenchmarkTraffic(TransportMode::kRdmaDcqcn, /*incast_degree=*/10,
+                          /*num_pairs=*/80, kDuration, 21, DefaultTopo());
+
+  std::printf("Figure 17(a): user-traffic goodput CDF (Gbps)\n");
+  std::printf("%10s %18s %18s\n", "quantile", "noDCQCN, 5 pairs",
+              "DCQCN, 80 pairs");
+  for (double q : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95}) {
+    std::printf("%10.2f %18.2f %18.2f\n", q, Q(light.user, q),
+                Q(heavy.user, q));
+  }
+
+  std::printf("\nFigure 17(b): incast (disk rebuild) goodput CDF (Gbps)\n");
+  std::printf("%10s %18s %18s\n", "quantile", "noDCQCN, 5 pairs",
+              "DCQCN, 80 pairs");
+  for (double q : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95}) {
+    std::printf("%10.2f %18.2f %18.2f\n", q, Q(light.incast, q),
+                Q(heavy.incast, q));
+  }
+
+  std::printf("\npaper shape: the DCQCN/80-pair user CDF matches the "
+              "no-DCQCN/5-pair CDF (16x more load, same performance), and "
+              "the incast CDF is tighter (fairer) with DCQCN\n");
+  std::printf("measured   : tail comparison (the paper's headline metric) "
+              "p10 %.2f (DCQCN,80) vs %.2f (noDCQCN,5); upper quantiles of "
+              "the lightly-loaded run stay high in our short simulations "
+              "because transfers that dodge a pause storm see an idle "
+              "fabric\n",
+              Q(heavy.user, 0.1), Q(light.user, 0.1));
+  return 0;
+}

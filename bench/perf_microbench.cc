@@ -1,0 +1,109 @@
+// google-benchmark microbenchmarks for the simulator engine itself: event
+// queue throughput, switch forwarding, RP updates, RED decisions, fluid
+// integration. These guard the simulator's own performance (millions of
+// events per simulated millisecond).
+#include <benchmark/benchmark.h>
+
+#include "core/red_ecn.h"
+#include "core/rp.h"
+#include "fluid/fluid_model.h"
+#include "net/topology.h"
+#include "sim/event_queue.h"
+
+namespace dcqcn {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  EventQueue eq;
+  int64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      eq.ScheduleIn(static_cast<Time>(i % 7), [&sink] { ++sink; });
+    }
+    eq.RunAll();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  EventQueue eq;
+  for (auto _ : state) {
+    EventHandle h = eq.ScheduleIn(1000, [] {});
+    eq.Cancel(h);
+    eq.RunAll();
+  }
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void BM_EcmpMix(benchmark::State& state) {
+  uint64_t k = 1;
+  for (auto _ : state) {
+    k = EcmpMix(k, 42);
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK(BM_EcmpMix);
+
+void BM_RedMarking(benchmark::State& state) {
+  const RedEcnConfig red = RedEcnConfig::Deployment();
+  Rng rng(1);
+  Bytes q = 0;
+  for (auto _ : state) {
+    q = (q + 1777) % (250 * kKB);
+    benchmark::DoNotOptimize(RedShouldMark(red, q, rng));
+  }
+}
+BENCHMARK(BM_RedMarking);
+
+void BM_RpCnpAndRecovery(benchmark::State& state) {
+  RpState rp(DcqcnParams::Deployment(), Gbps(40));
+  for (auto _ : state) {
+    rp.OnCnp();
+    for (int i = 0; i < 8; ++i) rp.OnRateTimer();
+    rp.OnBytesSent(kMtu);
+    benchmark::DoNotOptimize(rp.current_rate());
+  }
+}
+BENCHMARK(BM_RpCnpAndRecovery);
+
+void BM_FluidStep(benchmark::State& state) {
+  FluidParams p = FluidParams::FromDcqcn(DcqcnParams::Deployment(),
+                                         Gbps(40), 16);
+  FluidModel m(p);
+  for (int i = 0; i < 16; ++i) m.StartFlow(i);
+  for (auto _ : state) {
+    m.Step();
+    benchmark::DoNotOptimize(m.queue_bytes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FluidStep);
+
+void BM_SimulatedIncastMillisecond(benchmark::State& state) {
+  // End-to-end cost of one simulated millisecond of an 8:1 DCQCN incast
+  // through the shared-buffer switch.
+  const int k = static_cast<int>(state.range(0));
+  Network net(1);
+  StarTopology topo = BuildStar(net, k + 1, TopologyOptions{});
+  for (int i = 0; i < k; ++i) {
+    FlowSpec f;
+    f.flow_id = i;
+    f.src_host = topo.hosts[static_cast<size_t>(i)]->id();
+    f.dst_host = topo.hosts[static_cast<size_t>(k)]->id();
+    f.size_bytes = 0;
+    f.mode = TransportMode::kRdmaDcqcn;
+    net.StartFlow(f);
+  }
+  for (auto _ : state) {
+    net.RunFor(Milliseconds(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatedIncastMillisecond)->Arg(2)->Arg(8);
+
+}  // namespace
+}  // namespace dcqcn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Figure 14 (deployment parameter table) and the §4 buffer-threshold
+// calculations for the Arista 7050QX32 / Trident II switch.
+//
+// Paper numbers: t_flight = 22.4 KB per (port, priority); static
+// t_PFC <= 24.47 KB; naive t_ECN < 0.85 KB (infeasible, < 1 MTU); dynamic
+// thresholding with beta = 8 allows t_ECN < ~21.7 KB.
+#include <cstdio>
+
+#include "core/params.h"
+#include "core/thresholds.h"
+
+using namespace dcqcn;
+
+int main() {
+  const DcqcnParams p = DcqcnParams::Deployment();
+  std::printf("Figure 14: DCQCN parameters used in the deployment\n");
+  std::printf("  %-22s %8.0f us\n", "Rate increase timer",
+              ToMicroseconds(p.rate_increase_timer));
+  std::printf("  %-22s %8.0f MB\n", "Byte counter",
+              static_cast<double>(p.byte_counter) / 1e6);
+  std::printf("  %-22s %8lld KB\n", "Kmax",
+              static_cast<long long>(p.red.kmax / 1000));
+  std::printf("  %-22s %8lld KB\n", "Kmin",
+              static_cast<long long>(p.red.kmin / 1000));
+  std::printf("  %-22s %8.0f %%\n", "Pmax", p.red.pmax * 100);
+  std::printf("  %-22s    1/%0.f\n", "g", 1.0 / p.g);
+  std::printf("  %-22s %8.0f us\n", "CNP interval (N)",
+              ToMicroseconds(p.cnp_interval));
+  std::printf("  %-22s %8.0f us\n", "Alpha timer (K)",
+              ToMicroseconds(p.alpha_timer));
+  std::printf("  %-22s %8.0f Mbps\n", "R_AI", ToMbps(p.rate_ai));
+  std::printf("  %-22s %8d\n", "F (fast recovery)", p.fast_recovery_steps);
+
+  const SwitchBufferSpec spec;  // 12 MB, 32 x 40G, 8 priorities, 1 KB MTU
+  const Bytes headroom = HeadroomPerPortPriority(spec);
+  const Bytes static_pfc = StaticPfcThreshold(spec, headroom);
+  const Bytes naive_ecn = StaticEcnBound(spec, headroom);
+  const double beta = 8.0;
+  const Bytes dyn_ecn = DynamicEcnBound(spec, headroom, beta);
+
+  std::printf("\nSection 4: buffer thresholds (B = 12 MB, n = 32 x 40G, 8 "
+              "priorities)\n");
+  std::printf("  %-34s %8.2f KB   (paper: 22.4)\n",
+              "t_flight (headroom/port/prio)",
+              static_cast<double>(headroom) / 1e3);
+  std::printf("  %-34s %8.2f KB   (paper: 24.47)\n",
+              "static t_PFC upper bound",
+              static_cast<double>(static_pfc) / 1e3);
+  std::printf("  %-34s %8.2f KB   (paper: <0.85, infeasible: < 1 MTU)\n",
+              "naive t_ECN bound (static t_PFC)",
+              static_cast<double>(naive_ecn) / 1e3);
+  std::printf("  %-34s %8.2f KB   (paper: ~21.7, feasible)\n",
+              "dynamic t_ECN bound (beta = 8)",
+              static_cast<double>(dyn_ecn) / 1e3);
+  std::printf("  Kmin = 5 KB satisfies ECN-before-PFC: %s\n",
+              EcnBeforePfcGuaranteed(spec, headroom, beta, 5 * kKB)
+                  ? "yes"
+                  : "NO (bug)");
+  std::printf("  misconfigured Kmin = 120 KB satisfies it: %s (Fig. 18 uses "
+              "this to show why thresholds matter)\n",
+              EcnBeforePfcGuaranteed(spec, headroom, beta, 120 * kKB)
+                  ? "yes (bug)"
+                  : "no");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fluid-model explorer: solve the §5 fixed point and simulate convergence
+// for a chosen flow count and protocol parameters from the command line.
+//
+// Usage: fluid_explorer [num_flows] [g_denominator] [timer_us]
+//   e.g. fluid_explorer 4 256 55
+#include <cstdio>
+#include <cstdlib>
+
+#include "fluid/fluid_model.h"
+#include "fluid/sweep.h"
+
+using namespace dcqcn;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 2;
+  const double g_den = argc > 2 ? std::atof(argv[2]) : 256.0;
+  const double timer_us = argc > 3 ? std::atof(argv[3]) : 55.0;
+
+  DcqcnParams proto = DcqcnParams::Deployment();
+  proto.g = 1.0 / g_den;
+  proto.rate_increase_timer = static_cast<Time>(timer_us * kMicrosecond);
+  FluidParams params = FluidParams::FromDcqcn(proto, Gbps(40), n);
+
+  // --- fixed point (Eq. 10 and the residual system) ---
+  const FluidFixedPoint fp = SolveFixedPoint(params);
+  std::printf("fixed point for %d flows at 40 Gbps:\n", n);
+  std::printf("  per-flow rate  : %.2f Gbps\n", 40.0 / n);
+  std::printf("  marking prob p : %.4f%%\n", fp.p * 100);
+  std::printf("  alpha          : %.4f\n", fp.alpha);
+  std::printf("  stable queue   : %.1f KB (Kmin=%lld KB)\n",
+              fp.queue_bytes / 1e3,
+              static_cast<long long>(params.kmin / 1000));
+
+  // --- transient: all flows start at line rate ---
+  FluidModel m(params);
+  for (int i = 0; i < n; ++i) m.StartFlow(i);
+  std::printf("\n  t(ms)   rate/flow(Gbps)   queue(KB)\n");
+  for (int step = 1; step <= 10; ++step) {
+    m.RunUntil(step * 0.005);
+    std::printf("  %5.1f   %15.2f   %9.1f\n", m.time() * 1e3,
+                m.FlowRateGbps(0), m.queue_bytes() / 1e3);
+  }
+
+  // --- two-flow convergence metric (Fig. 11's z-axis) ---
+  if (n == 2) {
+    const ConvergenceResult r = TwoFlowConvergence(params);
+    std::printf("\n  two-flow convergence: mean |R1-R2| = %.2f Gbps over "
+                "[100ms,200ms]\n",
+                r.mean_abs_diff_gbps);
+  }
+  return 0;
+}

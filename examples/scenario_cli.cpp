@@ -1,0 +1,157 @@
+// scenario_cli — drive a whole experiment from the command line.
+//
+// Usage:
+//   scenario_cli [options]
+//     --topo=star|clos          (default clos)
+//     --hosts=N                 hosts (star) or hosts-per-ToR (clos), def 5
+//     --mode=raw|dcqcn|dctcp    transport (default dcqcn)
+//     --incast=K                disk-rebuild incast degree (default 8)
+//     --pairs=P                 closed-loop user pairs (default 12)
+//     --poisson=GBPS            extra open-loop Poisson load (default 0)
+//     --ms=D                    simulated milliseconds (default 30)
+//     --seed=S                  RNG seed (default 1)
+//     --no-pfc                  disable PFC (lossy fabric)
+//
+// Prints a one-screen report: goodput distributions, PAUSE/drop counters,
+// and per-switch ECN activity. A compact way to explore the system without
+// writing code — exercises the whole public API via the umbrella header.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "dcqcn.h"
+
+using namespace dcqcn;
+
+namespace {
+
+struct Args {
+  std::string topo = "clos";
+  int hosts = 5;
+  std::string mode = "dcqcn";
+  int incast = 8;
+  int pairs = 12;
+  double poisson_gbps = 0;
+  int ms = 30;
+  uint64_t seed = 1;
+  bool pfc = true;
+};
+
+bool Parse(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    auto val = [&s](const char* key) -> const char* {
+      const size_t n = std::strlen(key);
+      return s.compare(0, n, key) == 0 ? s.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--topo=")) {
+      a->topo = v;
+    } else if (const char* v = val("--hosts=")) {
+      a->hosts = std::atoi(v);
+    } else if (const char* v = val("--mode=")) {
+      a->mode = v;
+    } else if (const char* v = val("--incast=")) {
+      a->incast = std::atoi(v);
+    } else if (const char* v = val("--pairs=")) {
+      a->pairs = std::atoi(v);
+    } else if (const char* v = val("--poisson=")) {
+      a->poisson_gbps = std::atof(v);
+    } else if (const char* v = val("--ms=")) {
+      a->ms = std::atoi(v);
+    } else if (const char* v = val("--seed=")) {
+      a->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (s == "--no-pfc") {
+      a->pfc = false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", s.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+TransportMode ModeOf(const std::string& s) {
+  if (s == "raw") return TransportMode::kRdmaRaw;
+  if (s == "dctcp") return TransportMode::kDctcp;
+  return TransportMode::kRdmaDcqcn;
+}
+
+void PrintCdf(const char* label, const Cdf& c) {
+  if (c.empty()) {
+    std::printf("  %-18s (no samples)\n", label);
+    return;
+  }
+  std::printf("  %-18s p10 %6.2f  p50 %6.2f  p90 %6.2f  (%zu samples)\n",
+              label, c.Quantile(0.1), c.Quantile(0.5), c.Quantile(0.9),
+              c.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) return 1;
+
+  Network net(args.seed);
+  TopologyOptions opt;
+  opt.switch_config.pfc_enabled = args.pfc;
+  if (!args.pfc) opt.switch_config.lossy_egress_cap = 1 * kMiB;
+
+  std::vector<RdmaNic*> hosts;
+  std::vector<SharedBufferSwitch*> spines;
+  if (args.topo == "star") {
+    StarTopology topo = BuildStar(net, args.hosts, opt);
+    hosts = topo.hosts;
+  } else {
+    ClosTopology topo = BuildClos(net, args.hosts, opt);
+    for (const auto& per_tor : topo.hosts_by_tor) {
+      hosts.insert(hosts.end(), per_tor.begin(), per_tor.end());
+    }
+    spines = topo.spines;
+  }
+
+  BenchmarkTrafficOptions bopt;
+  bopt.num_pairs = args.pairs;
+  bopt.incast_degree =
+      std::min<int>(args.incast, static_cast<int>(hosts.size()) - 1);
+  bopt.mode = ModeOf(args.mode);
+  bopt.seed = args.seed;
+  BenchmarkTraffic traffic(net, hosts, bopt);
+  traffic.Begin();
+
+  std::unique_ptr<PoissonArrivals> poisson;
+  if (args.poisson_gbps > 0) {
+    PoissonArrivalOptions popt;
+    popt.offered_load = Gbps(args.poisson_gbps);
+    popt.mode = ModeOf(args.mode);
+    popt.seed = args.seed + 1;
+    poisson = std::make_unique<PoissonArrivals>(net, hosts, popt);
+    poisson->Begin();
+  }
+
+  net.RunFor(static_cast<Time>(args.ms) * kMillisecond);
+
+  std::printf("scenario: %s, %zu hosts, mode=%s, incast=%d, pairs=%d, "
+              "poisson=%.0fG, %d ms, pfc=%s\n\n",
+              args.topo.c_str(), hosts.size(), args.mode.c_str(),
+              bopt.incast_degree, args.pairs, args.poisson_gbps, args.ms,
+              args.pfc ? "on" : "OFF");
+  std::printf("goodput (Gbps):\n");
+  PrintCdf("user transfers", traffic.user_goodput());
+  PrintCdf("incast chunks", traffic.incast_goodput());
+  if (poisson) PrintCdf("poisson flows", poisson->goodput());
+
+  int64_t marks = 0;
+  for (const auto& sw : net.switches()) {
+    marks += sw->counters().ecn_marked_packets;
+  }
+  int64_t spine_pauses = 0;
+  for (auto* s : spines) spine_pauses += s->counters().pause_frames_received;
+  std::printf("\nfabric: PAUSE sent %lld (at spines: %lld), ECN marks %lld, "
+              "drops %lld\n",
+              static_cast<long long>(net.TotalPauseFramesSent()),
+              static_cast<long long>(spine_pauses),
+              static_cast<long long>(marks),
+              static_cast<long long>(net.TotalDrops()));
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Lightweight runtime assertion macros used throughout the library.
+//
+// CHECK(...) is always on (simulator correctness depends on invariants that
+// must hold in release builds too); DCHECK(...) compiles away in NDEBUG
+// builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcqcn {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace dcqcn
+
+#define DCQCN_CHECK(expr)                                \
+  do {                                                   \
+    if (!(expr)) ::dcqcn::CheckFailed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define DCQCN_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define DCQCN_DCHECK(expr) DCQCN_CHECK(expr)
+#endif

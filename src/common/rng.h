@@ -1,0 +1,68 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (RED marking, ECMP seeds, workload generators)
+// takes an explicit Rng so whole simulations replay bit-identically from a
+// seed. The generator is a thin wrapper over std::mt19937_64 with the small
+// set of draw helpers the library needs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+#include "common/check.h"
+
+namespace dcqcn {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 1) : engine_(seed) {}
+
+  // Uniform double in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    DCQCN_DCHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    DCQCN_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Bernoulli draw.
+  bool Chance(double p) { return Uniform() < p; }
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean) {
+    DCQCN_DCHECK(mean > 0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Pareto with scale x_m and shape a (heavy tail for a close to 1).
+  double Pareto(double x_m, double a) {
+    DCQCN_DCHECK(x_m > 0 && a > 0);
+    double u = Uniform();
+    if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+    return x_m / std::pow(1.0 - u, 1.0 / a);
+  }
+
+  // Log-normal with parameters of the underlying normal.
+  double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  uint64_t NextU64() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dcqcn

@@ -1,0 +1,81 @@
+// Core unit types for the simulator.
+//
+// Time is kept as a signed 64-bit count of picoseconds. Picoseconds make the
+// common datacenter arithmetic exact: one byte at 40 Gbps serializes in
+// exactly 200 ps, at 10 Gbps in 800 ps. The int64 range (~106 days) is far
+// beyond any simulated run.
+//
+// Rates are double bits-per-second. DCQCN's RP state machine manipulates
+// rates multiplicatively (R_C * (1 - alpha/2)), so a floating-point rate is
+// the natural representation; conversions to wire time round to whole
+// picoseconds.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace dcqcn {
+
+// Simulated time in picoseconds.
+using Time = int64_t;
+
+constexpr Time kPicosecond = 1;
+constexpr Time kNanosecond = 1000;
+constexpr Time kMicrosecond = 1000 * kNanosecond;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+constexpr Time Picoseconds(int64_t n) { return n; }
+constexpr Time Nanoseconds(int64_t n) { return n * kNanosecond; }
+constexpr Time Microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr Time Milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr Time Seconds(int64_t n) { return n * kSecond; }
+
+constexpr double ToSeconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr double ToMicroseconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+constexpr double ToMilliseconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+// Link / flow rate in bits per second.
+using Rate = double;
+
+constexpr Rate kBitPerSecond = 1.0;
+constexpr Rate kKbps = 1e3;
+constexpr Rate kMbps = 1e6;
+constexpr Rate kGbps = 1e9;
+
+constexpr Rate Gbps(double g) { return g * kGbps; }
+constexpr Rate Mbps(double m) { return m * kMbps; }
+constexpr double ToGbps(Rate r) { return r / kGbps; }
+constexpr double ToMbps(Rate r) { return r / kMbps; }
+
+// Sizes in bytes.
+using Bytes = int64_t;
+
+constexpr Bytes kKB = 1000;          // paper uses decimal KB for thresholds
+constexpr Bytes kKiB = 1024;
+constexpr Bytes kMiB = 1024 * kKiB;
+
+// Wire time for `bytes` at `rate`, rounded up to a whole picosecond so a
+// transmitter never finishes "early" relative to the receiver's clock.
+inline Time TransmissionTime(Bytes bytes, Rate rate) {
+  DCQCN_DCHECK(bytes >= 0);
+  DCQCN_DCHECK(rate > 0);
+  const double ps = static_cast<double>(bytes) * 8.0 * 1e12 / rate;
+  return static_cast<Time>(ps + 0.5);
+}
+
+// Bytes deliverable at `rate` during `duration` (floor).
+inline Bytes BytesInTime(Time duration, Rate rate) {
+  DCQCN_DCHECK(duration >= 0);
+  return static_cast<Bytes>(static_cast<double>(duration) * rate /
+                            (8.0 * 1e12));
+}
+
+}  // namespace dcqcn

@@ -1,0 +1,58 @@
+// Notification Point (NP) — the DCQCN receiver state machine (Fig. 6).
+//
+// Per flow: when a CE-marked packet arrives and no CNP has been sent for
+// this flow in the last `cnp_interval` (50 µs), send a CNP immediately; at
+// most one CNP per interval per flow. The NIC additionally rate-limits CNP
+// *generation* across all flows (CnpGenerationGate), modeling the ConnectX-3
+// limit of one CNP per few microseconds (§3.3).
+#pragma once
+
+#include "common/units.h"
+#include "core/params.h"
+
+namespace dcqcn {
+
+// Per-flow NP state.
+class NpState {
+ public:
+  // Called for every arriving CE-marked data packet of the flow. Returns
+  // true if a CNP should be sent now.
+  bool OnMarkedPacket(Time now, const DcqcnParams& params) {
+    if (ever_sent_ && now - last_cnp_ < params.cnp_interval) return false;
+    ever_sent_ = true;
+    last_cnp_ = now;
+    ++cnps_sent_;
+    return true;
+  }
+
+  int64_t cnps_sent() const { return cnps_sent_; }
+
+ private:
+  bool ever_sent_ = false;
+  Time last_cnp_ = 0;
+  int64_t cnps_sent_ = 0;
+};
+
+// NIC-wide CNP generation limiter (hardware CNP engine capacity).
+class CnpGenerationGate {
+ public:
+  bool Allow(Time now, const DcqcnParams& params) {
+    if (params.cnp_gen_min_gap <= 0) return true;
+    if (ever_ && now - last_ < params.cnp_gen_min_gap) {
+      ++suppressed_;
+      return false;
+    }
+    ever_ = true;
+    last_ = now;
+    return true;
+  }
+
+  int64_t suppressed() const { return suppressed_; }
+
+ private:
+  bool ever_ = false;
+  Time last_ = 0;
+  int64_t suppressed_ = 0;
+};
+
+}  // namespace dcqcn

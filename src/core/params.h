@@ -1,0 +1,87 @@
+// DCQCN protocol parameters.
+//
+// Defaults are the deployment values of Figure 14 plus the fixed constants
+// stated in §3 and §5 (F = 5 fast-recovery steps, R_AI = 40 Mbps, 50 µs CNP
+// pacing, 55 µs alpha-update timer).
+#pragma once
+
+#include "common/check.h"
+#include "common/units.h"
+#include "core/red_ecn.h"
+
+namespace dcqcn {
+
+struct DcqcnParams {
+  // --- NP (receiver) ---
+  // Minimum gap between CNPs for one flow ("N microseconds" in §3.1; 50 µs
+  // in the deployment).
+  Time cnp_interval = Microseconds(50);
+  // NIC-wide minimum gap between CNP generations, modeling the ConnectX-3
+  // limit of one CNP per 1-5 µs across all flows (§3.3). 0 disables.
+  Time cnp_gen_min_gap = Microseconds(1);
+
+  // --- RP (sender) ---
+  double g = 1.0 / 256.0;            // alpha EWMA gain (Fig. 14)
+  Time alpha_timer = Microseconds(55);  // "K" in §3.1: alpha decay period
+  Time rate_increase_timer = Microseconds(55);  // T (Fig. 14: 55 µs)
+  Bytes byte_counter = 10 * 1000 * 1000;        // B (Fig. 14: 10 MB)
+  int fast_recovery_steps = 5;                  // F (fixed at 5)
+  Rate rate_ai = Mbps(40);                      // R_AI (fixed at 40 Mbps)
+  Rate rate_hai = Mbps(400);                    // hyper-increase step
+  Rate min_rate = Mbps(10);                     // rate limiter floor
+
+  // --- CP (switch) --- egress RED/ECN curve for the data priority.
+  RedEcnConfig red = RedEcnConfig::Deployment();
+
+  // The "strawman" starting point of §5.2: QCN/DCTCP-recommended values
+  // (B = 150 KB, T = 1.5 ms, cut-off marking at 40 KB). Exhibits the
+  // byte-counter-dominated unfairness of Fig. 11(a)/13(a).
+  static DcqcnParams Strawman() {
+    DcqcnParams p;
+    p.g = 1.0 / 16.0;
+    p.byte_counter = 150 * kKB;
+    p.rate_increase_timer = Microseconds(1500);
+    p.red = RedEcnConfig::CutOff(40 * kKB);
+    return p;
+  }
+
+  // Deployment parameters (Fig. 14): timer 55 µs, byte counter 10 MB,
+  // Kmin 5 KB / Kmax 200 KB / Pmax 1 %, g = 1/256.
+  static DcqcnParams Deployment() { return DcqcnParams{}; }
+
+  // Faster timer with DCTCP-like cut-off marking — the Fig. 13(b) variant.
+  // g keeps the pre-tuning QCN value (1/16): the g = 1/256 recommendation
+  // only came out of the Fig. 12 analysis, and with cut-off marking both
+  // flows see identical CNP streams, so convergence relies on the
+  // multiplicative cut being meaningfully large.
+  static DcqcnParams FastTimerCutoff() {
+    DcqcnParams p;
+    p.g = 1.0 / 16.0;
+    p.red = RedEcnConfig::CutOff(40 * kKB);
+    return p;
+  }
+
+  // RED-like marking with the slow strawman timer — the Fig. 13(c) variant.
+  static DcqcnParams RedOnly() {
+    DcqcnParams p;
+    p.g = 1.0 / 16.0;
+    p.byte_counter = 150 * kKB;
+    p.rate_increase_timer = Microseconds(1500);
+    p.red = RedEcnConfig::Deployment();
+    return p;
+  }
+
+  void Validate() const {
+    DCQCN_CHECK(cnp_interval > 0);
+    DCQCN_CHECK(g > 0.0 && g <= 1.0);
+    DCQCN_CHECK(alpha_timer >= cnp_interval);  // §3.1: K > CNP timer
+    DCQCN_CHECK(rate_increase_timer >= cnp_interval);
+    DCQCN_CHECK(byte_counter > 0);
+    DCQCN_CHECK(fast_recovery_steps > 0);
+    DCQCN_CHECK(rate_ai > 0 && rate_hai >= rate_ai);
+    DCQCN_CHECK(min_rate > 0);
+    red.Validate();
+  }
+};
+
+}  // namespace dcqcn

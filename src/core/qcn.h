@@ -1,0 +1,79 @@
+// QCN (IEEE 802.1Qau Quantized Congestion Notification) — the L2 protocol
+// DCQCN builds on (§2.3, §3).
+//
+// QCN's congestion point samples arriving packets and computes a congestion
+// measure against a desired equilibrium queue:
+//
+//   Fb = -(q_off + w * q_delta),  q_off = q - q_eq,  q_delta = q - q_old
+//
+// If Fb < 0 the switch sends the quantized |Fb| directly to the *source MAC
+// address* of the sampled packet. That is QCN's fatal limitation in IP
+// networks: the original Ethernet header is not preserved across a routed
+// hop, so the feedback frame cannot traverse L3 — which is exactly why the
+// paper had to design DCQCN ("QCN cannot be used in IP-routed networks").
+// Our simulator models this faithfully: a QCN feedback frame that arrives
+// at a switch (i.e. must cross another hop) is dropped and counted.
+//
+// The reaction point reuses the QCN rate machinery DCQCN inherited (byte
+// counter + timer, fast recovery / additive increase), but cuts
+// multiplicatively by Gd * Fb_quantized instead of alpha/2.
+#pragma once
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace dcqcn {
+
+struct QcnParams {
+  bool enabled = false;
+  Bytes q_eq = 33 * kKB;  // desired equilibrium queue ("set point")
+  double w = 2.0;         // weight of the queue derivative
+  // Sampling probability per arriving packet (802.1Qau samples ~1% at low
+  // congestion, more when severe; we use the base rate).
+  double sample_prob = 0.01;
+  // Quantization: |Fb| is clamped to fb_max and quantized to 6 bits.
+  int quant_levels = 64;
+  // RP decrease gain: rate *= (1 - gd * fbq/quant_levels); gd = 0.5 gives
+  // the standard "max cut is half" behavior.
+  double gd = 0.5;
+
+  void Validate() const {
+    DCQCN_CHECK(q_eq > 0);
+    DCQCN_CHECK(w >= 0);
+    DCQCN_CHECK(sample_prob > 0 && sample_prob <= 1);
+    DCQCN_CHECK(quant_levels >= 2);
+    DCQCN_CHECK(gd > 0 && gd <= 1);
+  }
+};
+
+// Per-(egress port, priority) congestion-point state.
+class QcnCp {
+ public:
+  // Called per arriving data packet with the instantaneous egress queue.
+  // Returns the quantized feedback in [1, quant_levels-1] if this packet
+  // was sampled AND the switch is congested; 0 otherwise.
+  int OnPacketArrival(const QcnParams& p, Bytes queue_bytes, Rng& rng) {
+    if (!p.enabled) return 0;
+    if (!rng.Chance(p.sample_prob)) return 0;
+    const double q_off = static_cast<double>(queue_bytes - p.q_eq);
+    const double q_delta = static_cast<double>(queue_bytes - q_old_);
+    q_old_ = queue_bytes;
+    const double fb = -(q_off + p.w * q_delta);
+    if (fb >= 0) return 0;  // not congested: QCN sends no positive feedback
+    // Quantize |Fb| against the maximum sensible magnitude.
+    const double fb_max =
+        static_cast<double>(p.q_eq) * (1.0 + 2.0 * p.w);
+    const double frac = std::min(1.0, -fb / fb_max);
+    const int q = static_cast<int>(frac * (p.quant_levels - 1) + 0.5);
+    return std::max(1, q);
+  }
+
+  Bytes q_old() const { return q_old_; }
+
+ private:
+  Bytes q_old_ = 0;
+};
+
+}  // namespace dcqcn

@@ -1,0 +1,62 @@
+// Congestion Point (CP) algorithm — Figure 5 of the paper.
+//
+// The CP is plain RED-based ECN marking on the instantaneous egress queue:
+//
+//            { 0                                        q <= Kmin
+//   p(q)  =  { Pmax * (q - Kmin) / (Kmax - Kmin)        Kmin < q <= Kmax
+//            { 1                                        q >  Kmax
+//
+// Setting Kmin == Kmax with Pmax = 1 gives the DCTCP-like "cut-off" behavior
+// the paper starts from; §5.2 shows a gentle slope (Kmin=5KB, Kmax=200KB,
+// Pmax=1%) converges faster and handles multi-bottleneck topologies better.
+#pragma once
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace dcqcn {
+
+struct RedEcnConfig {
+  bool enabled = false;
+  Bytes kmin = 5 * kKB;
+  Bytes kmax = 200 * kKB;
+  double pmax = 0.01;
+
+  // DCTCP-style cut-off marking: mark everything once the queue exceeds `k`.
+  static RedEcnConfig CutOff(Bytes k) {
+    return RedEcnConfig{/*enabled=*/true, /*kmin=*/k, /*kmax=*/k,
+                        /*pmax=*/1.0};
+  }
+  // The deployment configuration of Table/Figure 14.
+  static RedEcnConfig Deployment() {
+    return RedEcnConfig{/*enabled=*/true, /*kmin=*/5 * kKB,
+                        /*kmax=*/200 * kKB, /*pmax=*/0.01};
+  }
+
+  void Validate() const {
+    DCQCN_CHECK(kmin >= 0);
+    DCQCN_CHECK(kmax >= kmin);
+    DCQCN_CHECK(pmax >= 0.0 && pmax <= 1.0);
+  }
+};
+
+// Marking probability for an instantaneous queue of `q` bytes.
+inline double RedMarkProbability(const RedEcnConfig& c, Bytes q) {
+  if (!c.enabled) return 0.0;
+  if (q <= c.kmin) return 0.0;
+  if (q > c.kmax) return 1.0;
+  if (c.kmax == c.kmin) return 1.0;  // cut-off: q > kmin == kmax handled above
+  return c.pmax * static_cast<double>(q - c.kmin) /
+         static_cast<double>(c.kmax - c.kmin);
+}
+
+// One marking decision (the switch calls this per arriving packet).
+inline bool RedShouldMark(const RedEcnConfig& c, Bytes q, Rng& rng) {
+  const double p = RedMarkProbability(c, q);
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return rng.Chance(p);
+}
+
+}  // namespace dcqcn

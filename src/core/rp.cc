@@ -1,0 +1,94 @@
+#include "core/rp.h"
+
+#include <algorithm>
+
+namespace dcqcn {
+
+RpState::RpState(const DcqcnParams& params, Rate line_rate)
+    : params_(params), line_rate_(line_rate), rc_(line_rate), rt_(line_rate) {
+  params_.Validate();
+  DCQCN_CHECK(line_rate > 0);
+}
+
+void RpState::OnCnp() {
+  ++cnps_;
+  limiting_ = true;
+  // Eq. 1: remember the pre-cut rate as the recovery target, cut the
+  // current rate by alpha/2, and push alpha toward 1.
+  rt_ = rc_;
+  rc_ = rc_ * (1.0 - alpha_ / 2.0);
+  alpha_ = (1.0 - params_.g) * alpha_ + params_.g;
+  rc_ = std::max(rc_, params_.min_rate);
+  // Fig. 7: Reset(Timer, ByteCounter, T, BC, AlphaTimer). The NIC re-arms
+  // the actual timers; the protocol counters reset here.
+  t_count_ = 0;
+  bc_count_ = 0;
+  bytes_since_counter_ = 0;
+}
+
+void RpState::OnQcnFeedback(double cut_fraction) {
+  DCQCN_CHECK(cut_fraction > 0 && cut_fraction < 1);
+  ++cnps_;
+  limiting_ = true;
+  rt_ = rc_;
+  rc_ = std::max(rc_ * (1.0 - cut_fraction), params_.min_rate);
+  t_count_ = 0;
+  bc_count_ = 0;
+  bytes_since_counter_ = 0;
+}
+
+void RpState::OnAlphaTimer() {
+  if (!limiting_) return;
+  // Eq. 2: no feedback for K time units.
+  alpha_ = (1.0 - params_.g) * alpha_;
+}
+
+void RpState::OnRateTimer() {
+  if (!limiting_) return;
+  ++t_count_;
+  IncreaseIteration(/*from_timer=*/true);
+}
+
+int RpState::OnBytesSent(Bytes bytes) {
+  DCQCN_CHECK(bytes >= 0);
+  if (!limiting_) return 0;
+  bytes_since_counter_ += bytes;
+  int expirations = 0;
+  while (bytes_since_counter_ >= params_.byte_counter) {
+    bytes_since_counter_ -= params_.byte_counter;
+    ++bc_count_;
+    ++expirations;
+    IncreaseIteration(/*from_timer=*/false);
+    if (!limiting_) break;  // recovered to line rate mid-loop
+  }
+  return expirations;
+}
+
+void RpState::IncreaseIteration(bool /*from_timer*/) {
+  const int f = params_.fast_recovery_steps;
+  if (std::max(t_count_, bc_count_) < f) {
+    // Fast recovery, Eq. 3: binary-search up toward the fixed target.
+  } else if (std::min(t_count_, bc_count_) > f) {
+    // Hyper increase: both clocks are far past recovery; ramp the target
+    // aggressively (QCN's HAI phase).
+    rt_ += params_.rate_hai;
+  } else {
+    // Additive increase, Eq. 4.
+    rt_ += params_.rate_ai;
+  }
+  rt_ = std::min(rt_, line_rate_);
+  rc_ = (rt_ + rc_) / 2.0;
+  if (rc_ >= line_rate_) Release();
+}
+
+void RpState::Release() {
+  limiting_ = false;
+  rc_ = line_rate_;
+  rt_ = line_rate_;
+  alpha_ = 1.0;
+  t_count_ = 0;
+  bc_count_ = 0;
+  bytes_since_counter_ = 0;
+}
+
+}  // namespace dcqcn

@@ -1,0 +1,76 @@
+// Reaction Point (RP) — the DCQCN sender state machine (Fig. 7, Eq. 1-4).
+//
+// The RP is pure protocol state: it owns no timers and touches no network.
+// The NIC (or a test) drives it with the four events the paper defines:
+//
+//   OnCnp()        — a CNP arrived: cut rate (Eq. 1), reset the increase
+//                    machinery and re-arm the alpha timer.
+//   OnAlphaTimer() — no CNP for `alpha_timer` (= K > 50 µs): decay alpha
+//                    (Eq. 2).
+//   OnRateTimer()  — the rate-increase timer elapsed: T++, one increase
+//                    iteration.
+//   OnBytesSent(b) — data left the NIC; every `byte_counter` bytes: BC++,
+//                    one increase iteration.
+//
+// Increase iterations follow Fig. 7: fast recovery (R_C averages toward the
+// fixed target R_T, Eq. 3) while max(T,BC) < F; hyper increase when
+// min(T,BC) > F; additive increase (Eq. 4) otherwise.
+//
+// A flow starts unlimited at line rate ("hyper-fast start", no slow start).
+// The limiter engages on the first CNP and releases once R_C climbs back to
+// line rate, discarding episode state — the next congestion episode starts
+// with alpha at its initial value of 1.
+#pragma once
+
+#include "common/units.h"
+#include "core/params.h"
+
+namespace dcqcn {
+
+class RpState {
+ public:
+  RpState(const DcqcnParams& params, Rate line_rate);
+
+  // Current sending rate the rate limiter must enforce.
+  Rate current_rate() const { return rc_; }
+  Rate target_rate() const { return rt_; }
+  double alpha() const { return alpha_; }
+  // True while the hardware rate limiter is engaged (between the first CNP
+  // of an episode and recovery back to line rate). Timers are only armed
+  // while limiting.
+  bool limiting() const { return limiting_; }
+
+  int timer_count() const { return t_count_; }
+  int byte_counter_count() const { return bc_count_; }
+  int64_t cnps_received() const { return cnps_; }
+
+  // --- events ---
+  void OnCnp();
+  // QCN-mode decrease: cut by `cut_fraction` (= Gd * Fbq / quant_levels)
+  // instead of alpha/2; the target/counter handling matches Fig. 7's
+  // CutRate + Reset. Alpha is untouched (QCN has none).
+  void OnQcnFeedback(double cut_fraction);
+  void OnAlphaTimer();
+  void OnRateTimer();
+  // Returns the number of byte-counter expirations this send caused (0 or
+  // more; more than one only if a single send spans several B windows).
+  int OnBytesSent(Bytes bytes);
+
+ private:
+  void IncreaseIteration(bool from_timer);
+  void Release();
+
+  const DcqcnParams params_;
+  const Rate line_rate_;
+
+  bool limiting_ = false;
+  Rate rc_;           // R_C: current rate
+  Rate rt_;           // R_T: target rate
+  double alpha_ = 1.0;
+  int t_count_ = 0;   // T:  timer expirations since last cut
+  int bc_count_ = 0;  // BC: byte counter expirations since last cut
+  Bytes bytes_since_counter_ = 0;
+  int64_t cnps_ = 0;
+};
+
+}  // namespace dcqcn

@@ -1,0 +1,73 @@
+#include "core/thresholds.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dcqcn {
+
+Bytes HeadroomPerPortPriority(const SwitchBufferSpec& spec) {
+  // Bytes serialized at line rate during one window of `t`.
+  const auto bytes_during = [&](Time t) { return BytesInTime(t, spec.port_rate); };
+
+  // 1. The PAUSE frame may have to wait behind a frame whose transmission
+  //    has begun (one MTU at line rate), plus its own serialization.
+  const Time pause_delay =
+      TransmissionTime(spec.mtu, spec.port_rate) +
+      TransmissionTime(kControlFrameBytes, spec.port_rate);
+  // 2. One propagation delay to reach the upstream device.
+  // 3. The upstream device finishes the frame it has begun (one MTU) and
+  //    takes its reaction time; during the whole window it keeps sending.
+  const Time window = pause_delay + spec.cable_delay +
+                      spec.pause_reaction_delay + spec.cable_delay;
+  // 4. Everything sent during the window arrives, plus the one frame the
+  //    upstream could not abandon.
+  return bytes_during(window) + 2 * spec.mtu;
+}
+
+Bytes StaticPfcThreshold(const SwitchBufferSpec& spec, Bytes headroom) {
+  const int64_t n = spec.num_ports;
+  const int64_t pri = spec.num_priorities;
+  const Bytes reserved = pri * n * headroom;
+  DCQCN_CHECK(reserved < spec.total_buffer);
+  return (spec.total_buffer - reserved) / (pri * n);
+}
+
+Bytes StaticEcnBound(const SwitchBufferSpec& spec, Bytes headroom) {
+  return StaticPfcThreshold(spec, headroom) / spec.num_ports;
+}
+
+Bytes DynamicPfcThreshold(const SwitchBufferSpec& spec, Bytes headroom,
+                          double beta, Bytes occupied) {
+  DCQCN_CHECK(beta > 0);
+  const int64_t n = spec.num_ports;
+  const int64_t pri = spec.num_priorities;
+  const Bytes shared = spec.total_buffer - pri * n * headroom;
+  const Bytes free_shared = std::max<Bytes>(0, shared - occupied);
+  return static_cast<Bytes>(beta * static_cast<double>(free_shared) /
+                            static_cast<double>(pri));
+}
+
+Bytes DynamicEcnBound(const SwitchBufferSpec& spec, Bytes headroom,
+                      double beta) {
+  DCQCN_CHECK(beta > 0);
+  const int64_t n = spec.num_ports;
+  const int64_t pri = spec.num_priorities;
+  const Bytes shared = spec.total_buffer - pri * n * headroom;
+  DCQCN_CHECK(shared > 0);
+  return static_cast<Bytes>(beta * static_cast<double>(shared) /
+                            (static_cast<double>(pri) *
+                             static_cast<double>(n) * (beta + 1.0)));
+}
+
+bool EcnBeforePfcGuaranteed(const SwitchBufferSpec& spec, Bytes headroom,
+                            double beta, Bytes t_ecn) {
+  // Just before ECN triggers anywhere, the shared occupancy can be at most
+  // n * t_ECN (every egress queue right below the mark point). PFC must not
+  // have fired at that occupancy: n * t_ECN < t_PFC(s = n * t_ECN).
+  const Bytes s = spec.num_ports * t_ecn;
+  return t_ecn < DynamicPfcThreshold(spec, headroom, beta, s) &&
+         t_ecn <= DynamicEcnBound(spec, headroom, beta);
+}
+
+}  // namespace dcqcn

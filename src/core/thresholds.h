@@ -1,0 +1,70 @@
+// Section 4 — PFC / ECN buffer threshold calculations.
+//
+// Correct DCQCN operation requires (i) PFC not to fire before ECN has had a
+// chance to signal, and (ii) PFC to fire before the shared buffer overflows.
+// This module reproduces the closed-form analysis for a shared-buffer switch
+// (Broadcom Trident II style: B = 12 MB, n = 32 x 40 Gbps ports, 8 PFC
+// priorities):
+//
+//   t_flight : per-(port, priority) headroom that must be reserved so that
+//              packets in flight when a PAUSE is sent are never dropped.
+//   t_PFC    : ingress-queue level at which PAUSE is sent. Static worst-case
+//              bound: (B - 8 n t_flight) / (8 n). Dynamic (Trident II):
+//              t_PFC = beta (B - 8 n t_flight - s) / 8, s = occupied bytes.
+//   t_ECN    : egress-queue level at which ECN marking starts (Kmin). The
+//              guarantee "ECN before PFC" requires n * t_ECN < t_PFC with
+//              the static bound (infeasible: < one MTU), and
+//              t_ECN < beta (B - 8 n t_flight) / (8 n (beta + 1))
+//              with the dynamic threshold — feasible for beta = 8.
+#pragma once
+
+#include "common/units.h"
+#include "net/packet.h"
+
+namespace dcqcn {
+
+struct SwitchBufferSpec {
+  Bytes total_buffer = 12 * kMiB;  // B: 12 MB shared buffer
+  int num_ports = 32;              // n
+  int num_priorities = 8;          // PFC classes
+  Rate port_rate = Gbps(40);
+  Bytes mtu = kMtu;
+  // Cable length and PFC reaction latency feed the headroom bound; the
+  // defaults reproduce the paper's 22.4 KB per (port, priority).
+  Time cable_delay = Nanoseconds(1600);  // ~320 m of fiber, one way
+  Time pause_reaction_delay = Nanoseconds(660);  // receiver + MAC processing
+};
+
+// Worst-case in-flight bytes after a PAUSE is sent (the [8] guideline):
+//   - the PAUSE frame itself may wait behind one maximum-size frame that the
+//     sender of the PAUSE has already begun transmitting,
+//   - the PAUSE travels one propagation delay,
+//   - the upstream device finishes the frame it has begun, plus its reaction
+//     time, and everything it emitted during that window is still in flight
+//     for one more propagation delay.
+Bytes HeadroomPerPortPriority(const SwitchBufferSpec& spec);
+
+// Static worst-case PFC threshold: every (port, priority) pair may
+// simultaneously hold this much beyond its headroom without overflow.
+Bytes StaticPfcThreshold(const SwitchBufferSpec& spec, Bytes headroom);
+
+// Upper bound on the ECN threshold if the static t_PFC is used:
+// t_ECN < t_PFC / n. The paper shows this is < 1 MTU, hence infeasible.
+Bytes StaticEcnBound(const SwitchBufferSpec& spec, Bytes headroom);
+
+// Dynamic PFC threshold for a given instantaneous shared occupancy `s`:
+// t_PFC = beta (B - 8 n t_flight - s) / 8.
+Bytes DynamicPfcThreshold(const SwitchBufferSpec& spec, Bytes headroom,
+                          double beta, Bytes occupied);
+
+// Feasible ECN threshold bound with the dynamic t_PFC:
+// t_ECN < beta (B - 8 n t_flight) / (8 n (beta + 1)).
+// beta = 8 on the paper's switches gives ~22 KB.
+Bytes DynamicEcnBound(const SwitchBufferSpec& spec, Bytes headroom,
+                      double beta);
+
+// True if `t_ecn` guarantees ECN-before-PFC under the dynamic threshold.
+bool EcnBeforePfcGuaranteed(const SwitchBufferSpec& spec, Bytes headroom,
+                            double beta, Bytes t_ecn);
+
+}  // namespace dcqcn

@@ -1,0 +1,114 @@
+// TIMELY — RTT-gradient rate control (Mittal et al., SIGCOMM 2015), the
+// contemporaneous delay-based alternative the paper contrasts with DCQCN in
+// §3.3 ("DCQCN is not particularly sensitive to congestion on the reverse
+// path, as the send rate does not depend on accurate RTT estimation like
+// TIMELY"). Implemented here as an extension baseline so the two designs
+// can be compared on the same fabric (bench/ext_timely_comparison).
+//
+// Per completion event (an ACK carrying an RTT sample):
+//   new_rtt_diff = rtt - prev_rtt
+//   rtt_diff     = (1 - a) rtt_diff + a new_rtt_diff      (EWMA)
+//   gradient     = rtt_diff / min_rtt
+//   rtt < T_low  : additive increase (delta), HAI after 5 good events
+//   rtt > T_high : multiplicative decrease  rate *= 1 - b (1 - T_high/rtt)
+//   otherwise    : gradient <= 0 -> additive increase;
+//                  gradient > 0  -> rate *= 1 - b * min(gradient, 1)
+#pragma once
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace dcqcn {
+
+struct TimelyParams {
+  Time t_low = Microseconds(20);    // queues below ~100 KB at 40G: grow
+  Time t_high = Microseconds(100);  // queues above ~500 KB at 40G: back off
+  Time min_rtt = Microseconds(4);   // propagation + serialization floor
+  double ewma_alpha = 0.3;          // gain for the RTT-difference EWMA
+  double beta = 0.5;                // multiplicative decrease factor
+  Rate add_step = Mbps(40);         // delta (scaled for 40G links)
+  int hai_after = 5;                // consecutive good events before HAI
+  // Floor well above DCQCN's: TIMELY's feedback is clocked by its own
+  // ACKs, so a very low rate would nearly stop the sampling process and
+  // recovery would stall (segment/ack_every at min_rate sets the worst
+  // sample gap).
+  Rate min_rate = Mbps(200);
+
+  void Validate() const {
+    DCQCN_CHECK(t_low > 0 && t_high > t_low);
+    DCQCN_CHECK(min_rtt > 0);
+    DCQCN_CHECK(ewma_alpha > 0 && ewma_alpha <= 1);
+    DCQCN_CHECK(beta > 0 && beta <= 1);
+    DCQCN_CHECK(add_step > 0);
+    DCQCN_CHECK(min_rate > 0);
+  }
+};
+
+class TimelyState {
+ public:
+  TimelyState(const TimelyParams& params, Rate line_rate)
+      : params_(params), line_rate_(line_rate), rate_(line_rate) {
+    params_.Validate();
+    DCQCN_CHECK(line_rate > 0);
+  }
+
+  Rate rate() const { return rate_; }
+  double gradient() const { return rtt_diff_us_ / ToMicroseconds(params_.min_rtt); }
+  int64_t samples() const { return samples_; }
+
+  // Feeds one RTT sample (an ACK completed a segment).
+  void OnRttSample(Time rtt) {
+    DCQCN_CHECK(rtt >= 0);
+    ++samples_;
+    const double rtt_us = ToMicroseconds(rtt);
+    if (samples_ == 1) {
+      prev_rtt_us_ = rtt_us;
+      return;
+    }
+    const double new_diff = rtt_us - prev_rtt_us_;
+    prev_rtt_us_ = rtt_us;
+    rtt_diff_us_ = (1 - params_.ewma_alpha) * rtt_diff_us_ +
+                   params_.ewma_alpha * new_diff;
+    const double grad = rtt_diff_us_ / ToMicroseconds(params_.min_rtt);
+
+    if (rtt < params_.t_low) {
+      AdditiveIncrease();
+      return;
+    }
+    if (rtt > params_.t_high) {
+      // Heavy congestion: decrease toward T_high regardless of gradient.
+      const double f =
+          1.0 - params_.beta * (1.0 - ToMicroseconds(params_.t_high) /
+                                          rtt_us);
+      Decrease(f);
+      return;
+    }
+    if (grad <= 0) {
+      AdditiveIncrease();
+    } else {
+      Decrease(1.0 - params_.beta * std::min(grad, 1.0));
+    }
+  }
+
+ private:
+  void AdditiveIncrease() {
+    ++good_events_;
+    const double mult = good_events_ >= params_.hai_after ? 5.0 : 1.0;
+    rate_ = std::min(line_rate_, rate_ + mult * params_.add_step);
+  }
+  void Decrease(double factor) {
+    good_events_ = 0;
+    rate_ = std::max(params_.min_rate, rate_ * std::clamp(factor, 0.0, 1.0));
+  }
+
+  TimelyParams params_;
+  Rate line_rate_;
+  Rate rate_;
+  double prev_rtt_us_ = 0;
+  double rtt_diff_us_ = 0;
+  int good_events_ = 0;
+  int64_t samples_ = 0;
+};
+
+}  // namespace dcqcn

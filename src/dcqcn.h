@@ -1,0 +1,37 @@
+// Umbrella header: the full public API of the DCQCN reproduction library.
+//
+//   #include "dcqcn.h"
+//
+// pulls in the simulator core, the network substrate, the NIC/transport
+// layer, the DCQCN protocol (RP/NP/CP + §4 threshold math), the §5 fluid
+// model, workload generators and statistics utilities. Individual headers
+// remain includable on their own for faster builds.
+#pragma once
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/np.h"
+#include "core/params.h"
+#include "core/red_ecn.h"
+#include "core/rp.h"
+#include "core/thresholds.h"
+#include "fluid/fluid_model.h"
+#include "fluid/sweep.h"
+#include "net/link.h"
+#include "net/network.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "net/switch.h"
+#include "net/topology.h"
+#include "nic/flow.h"
+#include "nic/nic_config.h"
+#include "nic/rdma_nic.h"
+#include "nic/sender_qp.h"
+#include "sim/event_queue.h"
+#include "stats/monitor.h"
+#include "stats/stats.h"
+#include "trace/arrivals.h"
+#include "trace/distributions.h"
+#include "trace/workload.h"
+#include "transport/host_model.h"

@@ -1,0 +1,47 @@
+#include "fluid/stability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dcqcn {
+
+StabilityResult ProbeStability(const FluidParams& params,
+                               double perturb_frac, double horizon_s) {
+  params.Validate();
+  DCQCN_CHECK(perturb_frac > 0 && perturb_frac < 1);
+  const FluidFixedPoint fp = SolveFixedPoint(params);
+  const double fair = params.capacity_pps / params.num_flows;
+
+  FluidModel m(params);
+  m.WarmStartAtFixedPoint(fp);
+  // Kick flow 0.
+  m.Perturb(0, 1.0 + perturb_frac);
+
+  // Track the deviation envelope: maximum |rc0 - fair| per window.
+  const int kWindows = 8;
+  const double win = horizon_s / kWindows;
+  double env[kWindows] = {};
+  for (int wdx = 0; wdx < kWindows; ++wdx) {
+    const double until = (wdx + 1) * win;
+    while (m.time() < until) {
+      m.Step();
+      env[wdx] = std::max(env[wdx], std::abs(m.flow(0).rc - fair));
+    }
+  }
+
+  StabilityResult r;
+  for (double e : env) {
+    r.peak_deviation = std::max(r.peak_deviation, e / fair);
+  }
+  // Envelope rate: log-ratio between the second and last window (skip the
+  // first, which contains the injected kick itself).
+  const double early = std::max(env[1], fair * 1e-9);
+  const double late = std::max(env[kWindows - 1], fair * 1e-9);
+  r.envelope_rate = std::log(late / early) / (win * (kWindows - 2));
+  r.stable = late < early * 0.9 || late < fair * 1e-4;
+  return r;
+}
+
+}  // namespace dcqcn

@@ -1,0 +1,35 @@
+// Stability analysis of the DCQCN fluid model — the paper's §5 closes with
+// "In future, we plan to analyze the stability of DCQCN following
+// techniques in [4]"; this module implements that analysis numerically.
+//
+// Method: initialize the model exactly at its fixed point (SolveFixedPoint,
+// Eq. 10), inject a small multiplicative perturbation into one flow's rate,
+// and measure the envelope of the deviation over time. An exponentially
+// decaying envelope means the fixed point is locally stable; a growing one
+// means the delay-differential system oscillates/diverges for those
+// parameters. The measured decay rate doubles as a convergence-speed
+// metric, quantifying the g / tau* trade-offs of §5.2.
+#pragma once
+
+#include "fluid/fluid_model.h"
+
+namespace dcqcn {
+
+struct StabilityResult {
+  bool stable = false;
+  // Exponential rate of the deviation envelope in 1/s; negative = decaying
+  // (stable), positive = growing (unstable).
+  double envelope_rate = 0;
+  // Peak |deviation| of flow 0's rate from fair share, as a fraction of
+  // fair share, over the probe window.
+  double peak_deviation = 0;
+};
+
+// Probes local stability of the fixed point for `params`.
+//   perturb_frac — initial multiplicative kick to flow 0's rate.
+//   horizon_s    — probe duration.
+StabilityResult ProbeStability(const FluidParams& params,
+                               double perturb_frac = 0.05,
+                               double horizon_s = 0.08);
+
+}  // namespace dcqcn

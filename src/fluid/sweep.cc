@@ -1,0 +1,61 @@
+#include "fluid/sweep.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dcqcn {
+
+ConvergenceResult TwoFlowConvergence(const FluidParams& params,
+                                     double sim_seconds, double measure_from,
+                                     double sample_period) {
+  FluidParams p = params;
+  p.num_flows = 2;
+  FluidModel m(p);
+  m.StartFlow(0, p.line_rate_pps);           // 40 Gbps
+  m.StartFlow(1, p.line_rate_pps / 8.0);     // 5 Gbps
+
+  ConvergenceResult r;
+  double next_sample = sample_period;
+  double diff_sum = 0, q_sum = 0;
+  int n_measured = 0;
+  while (m.time() < sim_seconds) {
+    m.Step();
+    if (m.time() >= next_sample) {
+      next_sample += sample_period;
+      const double diff = std::abs(m.FlowRateGbps(0) - m.FlowRateGbps(1));
+      r.diff_series.Add(static_cast<Time>(m.time() * 1e12), diff);
+      if (m.time() >= measure_from) {
+        diff_sum += diff;
+        q_sum += m.queue_bytes();
+        ++n_measured;
+      }
+    }
+  }
+  DCQCN_CHECK(n_measured > 0);
+  r.mean_abs_diff_gbps = diff_sum / n_measured;
+  r.final_abs_diff_gbps = std::abs(m.FlowRateGbps(0) - m.FlowRateGbps(1));
+  r.mean_queue_bytes = q_sum / n_measured;
+  return r;
+}
+
+TimeSeries IncastQueueSeries(const FluidParams& params, int n,
+                             double sim_seconds, double sample_period) {
+  FluidParams p = params;
+  p.num_flows = n;
+  FluidModel m(p);
+  for (int i = 0; i < n; ++i) m.StartFlow(i, p.line_rate_pps);
+
+  TimeSeries series;
+  double next_sample = 0;
+  while (m.time() < sim_seconds) {
+    m.Step();
+    if (m.time() >= next_sample) {
+      next_sample += sample_period;
+      series.Add(static_cast<Time>(m.time() * 1e12), m.queue_bytes());
+    }
+  }
+  return series;
+}
+
+}  // namespace dcqcn

@@ -1,0 +1,34 @@
+// Parameter-sweep drivers over the fluid model (§5.2, Figs. 11 and 12).
+#pragma once
+
+#include <vector>
+
+#include "fluid/fluid_model.h"
+#include "stats/stats.h"
+
+namespace dcqcn {
+
+// The §5.2 two-flow experiment: one flow starts at 40 Gbps, the other at
+// 5 Gbps, and the model is solved for `sim_seconds`. The convergence metric
+// is the mean |R1 - R2| (Gbps) over [measure_from, sim_seconds) — the
+// z-axis of Fig. 11 (lower is better).
+struct ConvergenceResult {
+  double mean_abs_diff_gbps = 0;
+  double final_abs_diff_gbps = 0;
+  double mean_queue_bytes = 0;
+  TimeSeries diff_series;  // |R1-R2| sampled at `sample_period`
+};
+
+ConvergenceResult TwoFlowConvergence(const FluidParams& params,
+                                     double sim_seconds = 0.2,
+                                     double measure_from = 0.1,
+                                     double sample_period = 1e-3);
+
+// The Fig. 12 experiment: N:1 incast, all flows start at line rate at t=0;
+// returns the queue-length time series (bytes) sampled every
+// `sample_period` seconds.
+TimeSeries IncastQueueSeries(const FluidParams& params, int n,
+                             double sim_seconds = 0.1,
+                             double sample_period = 0.5e-3);
+
+}  // namespace dcqcn

@@ -1,0 +1,37 @@
+#include "net/link.h"
+
+namespace dcqcn {
+
+Link::Link(EventQueue* eq, Node* a, int port_a, Node* b, int port_b, Rate rate,
+           Time propagation)
+    : eq_(eq), rate_(rate), propagation_(propagation) {
+  DCQCN_CHECK(eq != nullptr && a != nullptr && b != nullptr);
+  DCQCN_CHECK(rate > 0 && propagation >= 0);
+  fwd_ = Direction{a, port_a, b, port_b};
+  rev_ = Direction{b, port_b, a, port_a};
+  a->AttachLink(port_a, this);
+  b->AttachLink(port_b, this);
+}
+
+void Link::Transmit(Node* from, const Packet& p) {
+  Direction& d = dir(from);
+  DCQCN_CHECK(!d.busy);
+  DCQCN_CHECK(p.size_bytes > 0);
+  d.busy = true;
+  d.frames++;
+  d.bytes += p.size_bytes;
+
+  const Time ser = SerializationTime(p.size_bytes);
+  // Serialization end: the transmitter may start its next frame.
+  eq_->ScheduleIn(ser, [this, &d] {
+    d.busy = false;
+    d.from->OnTransmitComplete(d.from_port);
+  });
+  // Arrival at the far end after propagation (store-and-forward: the whole
+  // frame must be on the wire before the receiver can act on it).
+  eq_->ScheduleIn(ser + propagation_, [&d, p] {
+    d.to->ReceivePacket(p, d.to_port);
+  });
+}
+
+}  // namespace dcqcn

@@ -1,0 +1,72 @@
+// Full-duplex point-to-point link.
+//
+// Each direction is an independent channel: a transmitter serializes one
+// frame at a time at the link rate, and the frame is delivered to the far
+// node after serialization + propagation (store-and-forward). The attached
+// nodes own all queueing; the link only models the wire. PFC semantics rely
+// on one property modeled here: a frame whose serialization has begun cannot
+// be abandoned, which is exactly why switches need headroom buffer.
+#pragma once
+
+#include "common/units.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "sim/event_queue.h"
+
+namespace dcqcn {
+
+class Link {
+ public:
+  Link(EventQueue* eq, Node* a, int port_a, Node* b, int port_b, Rate rate,
+       Time propagation);
+
+  // Begins serializing `p` out of node `from` (must be one of the endpoints
+  // and that direction must be idle). On serialization end the link calls
+  // from->OnTransmitComplete(port); on arrival, to->ReceivePacket(p, port).
+  void Transmit(Node* from, const Packet& p);
+
+  bool Busy(const Node* from) const { return dir(from).busy; }
+
+  Rate rate() const { return rate_; }
+  Time propagation() const { return propagation_; }
+
+  // Wire time of `bytes` on this link.
+  Time SerializationTime(Bytes bytes) const {
+    return TransmissionTime(bytes, rate_);
+  }
+
+  // The endpoint opposite `n`.
+  Node* Peer(const Node* n) const { return dir(n).to; }
+
+  // Total frames / bytes that traversed each direction (telemetry).
+  int64_t FramesSent(const Node* from) const { return dir(from).frames; }
+  int64_t BytesSent(const Node* from) const { return dir(from).bytes; }
+
+ private:
+  struct Direction {
+    Node* from = nullptr;
+    int from_port = -1;
+    Node* to = nullptr;
+    int to_port = -1;
+    bool busy = false;
+    int64_t frames = 0;
+    int64_t bytes = 0;
+  };
+
+  const Direction& dir(const Node* from) const {
+    DCQCN_CHECK(from == fwd_.from || from == rev_.from);
+    return from == fwd_.from ? fwd_ : rev_;
+  }
+  Direction& dir(const Node* from) {
+    DCQCN_CHECK(from == fwd_.from || from == rev_.from);
+    return from == fwd_.from ? fwd_ : rev_;
+  }
+
+  EventQueue* eq_;
+  Rate rate_;
+  Time propagation_;
+  Direction fwd_;
+  Direction rev_;
+};
+
+}  // namespace dcqcn

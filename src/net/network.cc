@@ -1,0 +1,105 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace dcqcn {
+
+SharedBufferSwitch* Network::AddSwitch(int num_ports,
+                                       const SwitchConfig& cfg) {
+  const int id = next_node_id_++;
+  auto sw = std::make_unique<SharedBufferSwitch>(&eq_, &rng_, id, num_ports,
+                                                 cfg);
+  SharedBufferSwitch* raw = sw.get();
+  switches_.push_back(std::move(sw));
+  nodes_.push_back(raw);
+  adj_.emplace_back();
+  return raw;
+}
+
+RdmaNic* Network::AddHost(const NicConfig& cfg) {
+  const int id = next_node_id_++;
+  auto nic = std::make_unique<RdmaNic>(&eq_, id, cfg);
+  RdmaNic* raw = nic.get();
+  nics_.push_back(std::move(nic));
+  nodes_.push_back(raw);
+  adj_.emplace_back();
+  return raw;
+}
+
+RdmaNic* Network::host(int node_id) const {
+  for (const auto& n : nics_) {
+    if (n->id() == node_id) return n.get();
+  }
+  return nullptr;
+}
+
+Link* Network::Connect(Node* a, int port_a, Node* b, int port_b, Rate rate,
+                       Time propagation) {
+  auto link = std::make_unique<Link>(&eq_, a, port_a, b, port_b, rate,
+                                     propagation);
+  Link* raw = link.get();
+  links_.push_back(std::move(link));
+  adj_[static_cast<size_t>(a->id())].push_back(Adjacency{b, port_a});
+  adj_[static_cast<size_t>(b->id())].push_back(Adjacency{a, port_b});
+  return raw;
+}
+
+void Network::BuildRoutes() {
+  constexpr int kInf = std::numeric_limits<int>::max();
+  // BFS from each host; each switch keeps every port whose peer is one hop
+  // closer to the host — the equal-cost set ECMP hashes over.
+  for (const auto& nic : nics_) {
+    std::vector<int> dist(nodes_.size(), kInf);
+    std::deque<Node*> frontier;
+    dist[static_cast<size_t>(nic->id())] = 0;
+    frontier.push_back(nic.get());
+    while (!frontier.empty()) {
+      Node* cur = frontier.front();
+      frontier.pop_front();
+      const int d = dist[static_cast<size_t>(cur->id())];
+      for (const Adjacency& a : adj_[static_cast<size_t>(cur->id())]) {
+        auto& pd = dist[static_cast<size_t>(a.peer->id())];
+        if (pd == kInf) {
+          pd = d + 1;
+          frontier.push_back(a.peer);
+        }
+      }
+    }
+    for (const auto& sw : switches_) {
+      const int d = dist[static_cast<size_t>(sw->id())];
+      if (d == kInf) continue;  // unreachable
+      std::vector<int> ports;
+      for (const Adjacency& a : adj_[static_cast<size_t>(sw->id())]) {
+        if (dist[static_cast<size_t>(a.peer->id())] == d - 1) {
+          ports.push_back(a.local_port);
+        }
+      }
+      if (!ports.empty()) sw->SetRoute(nic->id(), std::move(ports));
+    }
+  }
+}
+
+SenderQp* Network::StartFlow(FlowSpec spec) {
+  if (spec.flow_id < 0) spec.flow_id = NextFlowId();
+  next_flow_id_ = std::max(next_flow_id_, spec.flow_id + 1);
+  RdmaNic* src = host(spec.src_host);
+  DCQCN_CHECK(src != nullptr);
+  DCQCN_CHECK(host(spec.dst_host) != nullptr);
+  return src->AddFlow(spec);
+}
+
+int64_t Network::TotalPauseFramesSent() const {
+  int64_t n = 0;
+  for (const auto& sw : switches_) n += sw->counters().pause_frames_sent;
+  return n;
+}
+
+int64_t Network::TotalDrops() const {
+  int64_t n = 0;
+  for (const auto& sw : switches_) n += sw->counters().dropped_packets;
+  return n;
+}
+
+}  // namespace dcqcn

@@ -1,0 +1,71 @@
+// Network: owns the event queue, RNG, all nodes and links, computes ECMP
+// routing tables, and provides flow management helpers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/link.h"
+#include "net/switch.h"
+#include "nic/rdma_nic.h"
+#include "sim/event_queue.h"
+
+namespace dcqcn {
+
+class Network {
+ public:
+  explicit Network(uint64_t seed = 1) : rng_(seed) {}
+
+  EventQueue& eq() { return eq_; }
+  Rng& rng() { return rng_; }
+
+  SharedBufferSwitch* AddSwitch(int num_ports, const SwitchConfig& cfg);
+  RdmaNic* AddHost(const NicConfig& cfg);
+
+  Link* Connect(Node* a, int port_a, Node* b, int port_b, Rate rate,
+                Time propagation);
+
+  // Computes shortest-path routes from every switch toward every host, with
+  // all equal-cost next hops retained for ECMP. Call after wiring.
+  void BuildRoutes();
+
+  // Registers a flow on its source NIC. Assigns a flow id if spec.flow_id
+  // is negative. Returns the sender QP.
+  SenderQp* StartFlow(FlowSpec spec);
+  int NextFlowId() { return next_flow_id_++; }
+
+  const std::vector<std::unique_ptr<SharedBufferSwitch>>& switches() const {
+    return switches_;
+  }
+  const std::vector<std::unique_ptr<RdmaNic>>& hosts() const { return nics_; }
+  RdmaNic* host(int node_id) const;
+
+  // Runs the simulation until `deadline`.
+  void RunFor(Time duration) { eq_.RunUntil(eq_.Now() + duration); }
+  void RunUntil(Time deadline) { eq_.RunUntil(deadline); }
+
+  // Aggregate counters across all switches.
+  int64_t TotalPauseFramesSent() const;
+  int64_t TotalDrops() const;
+
+ private:
+  struct Adjacency {
+    Node* peer = nullptr;
+    int local_port = -1;
+  };
+
+  EventQueue eq_;
+  Rng rng_;
+  int next_node_id_ = 0;
+  int next_flow_id_ = 0;
+  std::vector<std::unique_ptr<SharedBufferSwitch>> switches_;
+  std::vector<std::unique_ptr<RdmaNic>> nics_;
+  std::vector<std::unique_ptr<Link>> links_;
+  // node id -> list of (peer, local port)
+  std::vector<std::vector<Adjacency>> adj_;
+  std::vector<Node*> nodes_;  // node id -> node
+};
+
+}  // namespace dcqcn

@@ -1,0 +1,49 @@
+// Node: anything with ports that a Link can attach to (switches, NICs).
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+#include "net/packet.h"
+
+namespace dcqcn {
+
+class Link;
+
+class Node {
+ public:
+  explicit Node(int id, int num_ports)
+      : id_(id), links_(static_cast<size_t>(num_ports), nullptr) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+  int num_ports() const { return static_cast<int>(links_.size()); }
+
+  // A fully received packet arrives on `in_port` (store-and-forward).
+  virtual void ReceivePacket(const Packet& p, int in_port) = 0;
+
+  // The link attached to `port` finished serializing the previous frame from
+  // this node; the port may transmit again.
+  virtual void OnTransmitComplete(int port) = 0;
+
+  // Called by Link when wired up.
+  void AttachLink(int port, Link* link) {
+    DCQCN_CHECK(port >= 0 && port < num_ports());
+    DCQCN_CHECK(links_[static_cast<size_t>(port)] == nullptr);
+    links_[static_cast<size_t>(port)] = link;
+  }
+
+  Link* link(int port) const {
+    DCQCN_CHECK(port >= 0 && port < num_ports());
+    return links_[static_cast<size_t>(port)];
+  }
+
+ private:
+  int id_;
+  std::vector<Link*> links_;
+};
+
+}  // namespace dcqcn

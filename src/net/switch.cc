@@ -1,0 +1,270 @@
+#include "net/switch.h"
+
+#include <algorithm>
+
+namespace dcqcn {
+
+SharedBufferSwitch::SharedBufferSwitch(EventQueue* eq, Rng* rng, int id,
+                                       int num_ports, SwitchConfig config)
+    : Node(id, num_ports),
+      eq_(eq),
+      rng_(rng),
+      config_(config),
+      egress_(static_cast<size_t>(num_ports)),
+      egress_bytes_(static_cast<size_t>(num_ports)),
+      ingress_bytes_(static_cast<size_t>(num_ports)),
+      headroom_used_(static_cast<size_t>(num_ports)),
+      pause_sent_(static_cast<size_t>(num_ports)),
+      tx_paused_(static_cast<size_t>(num_ports)),
+      qcn_cp_(static_cast<size_t>(num_ports)),
+      pfc_out_(static_cast<size_t>(num_ports)),
+      in_flight_(static_cast<size_t>(num_ports)) {
+  config_.Validate();
+  DCQCN_CHECK(num_ports <= config_.buffer.num_ports);
+  headroom_ = config_.headroom > 0 ? config_.headroom
+                                   : HeadroomPerPortPriority(config_.buffer);
+  if (config_.pfc_enabled) {
+    const Bytes reserved = static_cast<Bytes>(config_.buffer.num_priorities) *
+                           config_.buffer.num_ports * headroom_;
+    DCQCN_CHECK(reserved < config_.buffer.total_buffer);
+    shared_capacity_ = config_.buffer.total_buffer - reserved;
+  } else {
+    shared_capacity_ = config_.buffer.total_buffer;
+  }
+  for (auto& a : egress_bytes_) a.fill(0);
+  for (auto& a : ingress_bytes_) a.fill(0);
+  for (auto& a : headroom_used_) a.fill(0);
+  for (auto& a : pause_sent_) a.fill(false);
+  for (auto& a : tx_paused_) a.fill(false);
+}
+
+void SharedBufferSwitch::SetRoute(int dst_host, std::vector<int> ports) {
+  DCQCN_CHECK(dst_host >= 0);
+  DCQCN_CHECK(!ports.empty());
+  for (int p : ports) DCQCN_CHECK(p >= 0 && p < num_ports());
+  if (static_cast<size_t>(dst_host) >= routes_.size()) {
+    routes_.resize(static_cast<size_t>(dst_host) + 1);
+  }
+  routes_[static_cast<size_t>(dst_host)] = std::move(ports);
+}
+
+const std::vector<int>& SharedBufferSwitch::RouteTo(int dst_host) const {
+  DCQCN_CHECK(dst_host >= 0 &&
+              static_cast<size_t>(dst_host) < routes_.size());
+  const auto& r = routes_[static_cast<size_t>(dst_host)];
+  DCQCN_CHECK(!r.empty());
+  return r;
+}
+
+Bytes SharedBufferSwitch::CurrentPfcThreshold() const {
+  if (!config_.dynamic_pfc) return config_.static_pfc_threshold;
+  return DynamicPfcThreshold(config_.buffer, headroom_, config_.beta,
+                             shared_used_);
+}
+
+Bytes SharedBufferSwitch::EgressQueueBytes(int port, int priority) const {
+  return egress_bytes_[static_cast<size_t>(port)][static_cast<size_t>(
+      priority)];
+}
+
+Bytes SharedBufferSwitch::IngressQueueBytes(int port, int priority) const {
+  return ingress_bytes_[static_cast<size_t>(port)][static_cast<size_t>(
+      priority)];
+}
+
+bool SharedBufferSwitch::PauseSent(int port, int priority) const {
+  return pause_sent_[static_cast<size_t>(port)][static_cast<size_t>(priority)];
+}
+
+bool SharedBufferSwitch::TxPaused(int port, int priority) const {
+  return tx_paused_[static_cast<size_t>(port)][static_cast<size_t>(priority)];
+}
+
+void SharedBufferSwitch::ReceivePacket(const Packet& p, int in_port) {
+  counters_.rx_packets++;
+  if (p.IsPfc()) {
+    counters_.pause_frames_received++;
+    const auto pr = static_cast<size_t>(p.pfc_priority);
+    tx_paused_[static_cast<size_t>(in_port)][pr] =
+        (p.type == PacketType::kPause);
+    if (p.type == PacketType::kResume) TrySend(in_port);
+    return;
+  }
+
+  if (p.type == PacketType::kQcnFeedback) {
+    // A QCN frame addresses a source MAC; across a routed hop the original
+    // Ethernet header is gone, so the notification cannot be delivered.
+    counters_.qcn_feedback_dropped++;
+    return;
+  }
+
+  AdmitAndEnqueue(p, in_port, EcmpSelect(p.ecmp_key, p.dst_host));
+}
+
+int SharedBufferSwitch::EcmpSelect(uint64_t ecmp_key, int dst_host) const {
+  const auto& ports = RouteTo(dst_host);
+  return ports[static_cast<size_t>(
+      EcmpMix(ecmp_key, static_cast<uint64_t>(id())) % ports.size())];
+}
+
+void SharedBufferSwitch::AdmitAndEnqueue(Packet p, int in_port, int out_port) {
+  const auto ip = static_cast<size_t>(in_port);
+  const auto op = static_cast<size_t>(out_port);
+  const auto pr = static_cast<size_t>(p.priority);
+
+  // --- buffer admission ---
+  if (config_.lossy_egress_cap > 0 && !config_.pfc_enabled &&
+      egress_bytes_[op][pr] + p.size_bytes > config_.lossy_egress_cap) {
+    counters_.dropped_packets++;
+    counters_.dropped_bytes += p.size_bytes;
+    return;
+  }
+  bool in_headroom = false;
+  if (config_.pfc_enabled && pause_sent_[ip][pr] &&
+      headroom_used_[ip][pr] + p.size_bytes <= headroom_) {
+    // Bytes arriving after we PAUSEd an upstream are exactly what the
+    // headroom reservation exists for.
+    in_headroom = true;
+    headroom_used_[ip][pr] += p.size_bytes;
+  } else if (shared_used_ + p.size_bytes <= shared_capacity_) {
+    shared_used_ += p.size_bytes;
+  } else {
+    counters_.dropped_packets++;
+    counters_.dropped_bytes += p.size_bytes;
+    return;
+  }
+  ingress_bytes_[ip][pr] += p.size_bytes;
+
+  // --- CP: RED/ECN marking on the instantaneous egress queue (Fig. 5) ---
+  if (p.type == PacketType::kData &&
+      RedShouldMark(config_.red, egress_bytes_[op][pr], *rng_)) {
+    p.ecn_ce = true;
+    counters_.ecn_marked_packets++;
+  }
+
+  // --- QCN congestion point: sampled quantized feedback to the source ---
+  if (p.type == PacketType::kData && config_.qcn.enabled) {
+    const int fbq = qcn_cp_[op][pr].OnPacketArrival(
+        config_.qcn, egress_bytes_[op][pr], *rng_);
+    if (fbq > 0) {
+      Packet fb;
+      fb.type = PacketType::kQcnFeedback;
+      fb.flow_id = p.flow_id;
+      fb.src_host = -1;  // switch-originated
+      fb.dst_host = p.src_host;
+      fb.priority = kControlPriority;
+      fb.size_bytes = kControlFrameBytes;
+      fb.qcn_fbq = static_cast<int8_t>(fbq);
+      fb.ecmp_key = p.ecmp_key;
+      counters_.qcn_feedback_sent++;
+      // Send it toward the source like any frame; if the next hop is a
+      // switch, that switch drops it (L2 scope).
+      AdmitAndEnqueue(fb, in_port, EcmpSelect(fb.ecmp_key, fb.dst_host));
+    }
+  }
+
+  egress_[op][pr].push_back(StoredPacket{p, in_port, in_headroom});
+  egress_bytes_[op][pr] += p.size_bytes;
+
+  if (config_.pfc_enabled) CheckPause(in_port, p.priority);
+  TrySend(out_port);
+}
+
+void SharedBufferSwitch::CheckPause(int in_port, int priority) {
+  const auto ip = static_cast<size_t>(in_port);
+  const auto pr = static_cast<size_t>(priority);
+  if (pause_sent_[ip][pr]) return;
+  if (ingress_bytes_[ip][pr] > CurrentPfcThreshold()) {
+    pause_sent_[ip][pr] = true;
+    SendPfcFrame(in_port, priority, /*pause=*/true);
+  }
+}
+
+void SharedBufferSwitch::CheckResumeAll() {
+  // The dynamic threshold rises as the shared pool drains, so any paused
+  // ingress may become resumable when any packet leaves.
+  const Bytes thr = CurrentPfcThreshold();
+  const Bytes resume_level = std::max<Bytes>(0, thr - config_.resume_offset);
+  for (int port = 0; port < num_ports(); ++port) {
+    for (int pr = 0; pr < kNumPriorities; ++pr) {
+      const auto ip = static_cast<size_t>(port);
+      const auto ipr = static_cast<size_t>(pr);
+      if (pause_sent_[ip][ipr] && ingress_bytes_[ip][ipr] <= resume_level) {
+        pause_sent_[ip][ipr] = false;
+        SendPfcFrame(port, pr, /*pause=*/false);
+      }
+    }
+  }
+}
+
+void SharedBufferSwitch::SendPfcFrame(int port, int priority, bool pause) {
+  Packet f;
+  f.type = pause ? PacketType::kPause : PacketType::kResume;
+  f.size_bytes = kControlFrameBytes;
+  f.pfc_priority = static_cast<int8_t>(priority);
+  f.priority = kControlPriority;
+  pfc_out_[static_cast<size_t>(port)].push_back(f);
+  if (pause) {
+    counters_.pause_frames_sent++;
+  } else {
+    counters_.resume_frames_sent++;
+  }
+  TrySend(port);
+}
+
+void SharedBufferSwitch::TrySend(int port) {
+  Link* l = link(port);
+  if (l == nullptr || l->Busy(this)) return;
+  const auto ip = static_cast<size_t>(port);
+
+  // PFC frames are MAC control frames: they go ahead of all queued data and
+  // are never themselves subject to PFC.
+  if (!pfc_out_[ip].empty()) {
+    Packet f = pfc_out_[ip].front();
+    pfc_out_[ip].pop_front();
+    l->Transmit(this, f);
+    return;
+  }
+
+  for (int pr = 0; pr < kNumPriorities; ++pr) {
+    const auto ipr = static_cast<size_t>(pr);
+    if (tx_paused_[ip][ipr]) continue;
+    auto& q = egress_[ip][ipr];
+    if (q.empty()) continue;
+    StoredPacket sp = q.front();
+    q.pop_front();
+    egress_bytes_[ip][ipr] -= sp.pkt.size_bytes;
+    in_flight_[ip] = sp;
+    counters_.tx_packets++;
+    l->Transmit(this, sp.pkt);
+    return;
+  }
+}
+
+void SharedBufferSwitch::OnTransmitComplete(int port) {
+  const auto ip = static_cast<size_t>(port);
+  if (in_flight_[ip].has_value()) {
+    // A buffered packet fully left the switch: release its buffer now
+    // (paper accounting: occupancy until transmission completes).
+    ReleaseBuffer(*in_flight_[ip]);
+    in_flight_[ip].reset();
+  }
+  TrySend(port);
+}
+
+void SharedBufferSwitch::ReleaseBuffer(const StoredPacket& sp) {
+  const auto ip = static_cast<size_t>(sp.in_port);
+  const auto pr = static_cast<size_t>(sp.pkt.priority);
+  ingress_bytes_[ip][pr] -= sp.pkt.size_bytes;
+  DCQCN_DCHECK(ingress_bytes_[ip][pr] >= 0);
+  if (sp.in_headroom) {
+    headroom_used_[ip][pr] -= sp.pkt.size_bytes;
+    DCQCN_DCHECK(headroom_used_[ip][pr] >= 0);
+  } else {
+    shared_used_ -= sp.pkt.size_bytes;
+    DCQCN_DCHECK(shared_used_ >= 0);
+  }
+  if (config_.pfc_enabled) CheckResumeAll();
+}
+
+}  // namespace dcqcn

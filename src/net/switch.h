@@ -1,0 +1,170 @@
+// Shared-buffer output-queued switch with PFC and RED/ECN.
+//
+// Models the Broadcom Trident II-style accounting the paper's §4 analyzes:
+//
+//  * One shared packet buffer (default 12 MB). A packet occupies buffer from
+//    ingress arrival until its egress transmission completes.
+//  * Per-(ingress port, priority) byte accounting drives PFC. When a queue
+//    exceeds the (dynamic) PFC threshold, a PAUSE control frame is emitted on
+//    that ingress port; RESUME is emitted when the queue falls 2 MTU below
+//    the threshold. Per-(port, priority) *headroom* absorbs the bytes in
+//    flight after a PAUSE so nothing is dropped.
+//  * The dynamic threshold follows the Trident II formula:
+//        t_PFC = beta * (B - 8*n*t_flight - s) / 8
+//    with `s` the instantaneous shared-buffer occupancy. A static threshold
+//    can be configured instead (the misconfiguration experiment, Fig. 18).
+//  * Per-(egress port, priority) queues with strict-priority scheduling.
+//    Arriving data packets are ECN-marked per the RED curve (Fig. 5) on the
+//    instantaneous egress queue length — the paper's CP algorithm.
+//  * PFC frames received on a port pause this switch's *transmission* on
+//    that (port, priority). A frame whose serialization began is never
+//    abandoned.
+//
+// With PFC disabled (Fig. 18 "DCQCN w/o PFC"), buffer overflow drops packets
+// and the counters record it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/qcn.h"
+#include "core/red_ecn.h"
+#include "core/thresholds.h"
+#include "net/link.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "sim/event_queue.h"
+
+namespace dcqcn {
+
+struct SwitchConfig {
+  // Chip-level buffer organization used for threshold arithmetic. The
+  // accounting uses the chip's full port count (32) even when fewer ports
+  // are wired, matching how a real switch reserves headroom.
+  SwitchBufferSpec buffer;
+
+  bool pfc_enabled = true;
+  // Dynamic (Trident II) thresholding with this beta; if dynamic_pfc is
+  // false, `static_pfc_threshold` is used instead.
+  bool dynamic_pfc = true;
+  double beta = 8.0;
+  Bytes static_pfc_threshold = 0;
+  // 0 = compute worst-case headroom from `buffer` (≈22.4 KB per the paper).
+  Bytes headroom = 0;
+  Bytes resume_offset = 2 * kMtu;
+
+  // CP: RED/ECN marking curve applied to data packets on every egress queue.
+  RedEcnConfig red = RedEcnConfig::Deployment();
+
+  // QCN congestion point (802.1Qau), per egress queue. Feedback frames are
+  // L2-scoped: this switch can notify a directly attached sender, but a
+  // feedback frame crossing another switch is dropped (§2.3).
+  QcnParams qcn;
+
+  // Per-(egress port, priority) queue cap for *lossy* operation (PFC off).
+  // Real shared-buffer chips bound each queue to a fraction of the free
+  // shared pool even for lossy classes; without some cap a single incast
+  // queue could monopolize the whole 12 MB buffer. 0 disables.
+  Bytes lossy_egress_cap = 0;
+
+  void Validate() const {
+    red.Validate();
+    DCQCN_CHECK(beta > 0);
+    DCQCN_CHECK(resume_offset >= 0);
+    if (!dynamic_pfc) DCQCN_CHECK(static_pfc_threshold > 0);
+  }
+};
+
+struct SwitchCounters {
+  int64_t rx_packets = 0;
+  int64_t tx_packets = 0;
+  int64_t dropped_packets = 0;
+  int64_t dropped_bytes = 0;
+  int64_t ecn_marked_packets = 0;
+  int64_t pause_frames_sent = 0;
+  int64_t resume_frames_sent = 0;
+  int64_t pause_frames_received = 0;
+  int64_t qcn_feedback_sent = 0;
+  // QCN frames that arrived from another switch and were dropped at the L3
+  // boundary (the reason QCN cannot run over routed fabrics).
+  int64_t qcn_feedback_dropped = 0;
+};
+
+class SharedBufferSwitch : public Node {
+ public:
+  SharedBufferSwitch(EventQueue* eq, Rng* rng, int id, int num_ports,
+                     SwitchConfig config);
+
+  // Routing: equal-cost output ports toward a destination host. ECMP picks
+  // among them by hashing the flow's key with this switch's id.
+  void SetRoute(int dst_host, std::vector<int> ports);
+  const std::vector<int>& RouteTo(int dst_host) const;
+
+  // The output port ECMP would pick for a flow with this key (exposed so
+  // experiments can pre-compute path collisions, e.g. the Fig. 20 parking
+  // lot scenario).
+  int EcmpSelect(uint64_t ecmp_key, int dst_host) const;
+
+  // Node interface.
+  void ReceivePacket(const Packet& p, int in_port) override;
+  void OnTransmitComplete(int port) override;
+
+  // --- telemetry ---
+  const SwitchCounters& counters() const { return counters_; }
+  Bytes shared_occupancy() const { return shared_used_; }
+  Bytes EgressQueueBytes(int port, int priority) const;
+  Bytes IngressQueueBytes(int port, int priority) const;
+  bool PauseSent(int port, int priority) const;
+  bool TxPaused(int port, int priority) const;
+  // Current PFC threshold given the instantaneous occupancy.
+  Bytes CurrentPfcThreshold() const;
+  Bytes headroom_per_queue() const { return headroom_; }
+  const SwitchConfig& config() const { return config_; }
+
+ private:
+  struct StoredPacket {
+    Packet pkt;
+    int in_port;
+    bool in_headroom;  // charged to headroom rather than shared pool
+  };
+
+  void TrySend(int port);
+  void AdmitAndEnqueue(Packet p, int in_port, int out_port);
+  void ReleaseBuffer(const StoredPacket& sp);
+  void CheckPause(int in_port, int priority);
+  void CheckResumeAll();
+  void SendPfcFrame(int port, int priority, bool pause);
+
+  EventQueue* eq_;
+  Rng* rng_;
+  SwitchConfig config_;
+  Bytes headroom_;
+  Bytes shared_capacity_;  // B - priorities*ports*headroom (if PFC on)
+
+  // Indexed [port][priority].
+  std::vector<std::array<std::deque<StoredPacket>, kNumPriorities>> egress_;
+  std::vector<std::array<Bytes, kNumPriorities>> egress_bytes_;
+  std::vector<std::array<Bytes, kNumPriorities>> ingress_bytes_;
+  std::vector<std::array<Bytes, kNumPriorities>> headroom_used_;
+  std::vector<std::array<bool, kNumPriorities>> pause_sent_;
+  std::vector<std::array<bool, kNumPriorities>> tx_paused_;
+
+  // QCN congestion-point state per (egress port, priority).
+  std::vector<std::array<QcnCp, kNumPriorities>> qcn_cp_;
+
+  // PFC frames awaiting transmission, per port (sent ahead of all data).
+  std::vector<std::deque<Packet>> pfc_out_;
+  // The buffered packet currently serializing on each port, if any.
+  std::vector<std::optional<StoredPacket>> in_flight_;
+
+  Bytes shared_used_ = 0;
+  std::vector<std::vector<int>> routes_;  // dst host -> out ports
+  SwitchCounters counters_;
+};
+
+}  // namespace dcqcn

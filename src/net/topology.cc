@@ -1,0 +1,74 @@
+#include "net/topology.h"
+
+namespace dcqcn {
+
+StarTopology BuildStar(Network& net, int num_hosts,
+                       const TopologyOptions& opt) {
+  DCQCN_CHECK(num_hosts >= 1);
+  StarTopology t;
+  t.sw = net.AddSwitch(num_hosts, opt.switch_config);
+  for (int i = 0; i < num_hosts; ++i) {
+    RdmaNic* h = net.AddHost(opt.nic_config);
+    net.Connect(t.sw, i, h, 0, opt.link_rate, opt.link_delay);
+    t.hosts.push_back(h);
+  }
+  net.BuildRoutes();
+  return t;
+}
+
+ClosTopology BuildClos(Network& net, int hosts_per_tor,
+                       const TopologyOptions& opt) {
+  DCQCN_CHECK(hosts_per_tor >= 1);
+  ClosTopology t;
+  t.hosts_per_tor = hosts_per_tor;
+
+  // ToR ports: [0, hosts_per_tor) to hosts, then 2 uplinks to the pod's
+  // leaves. Leaf ports: 0-1 down to the pod's ToRs, 2-3 up to the spines.
+  // Spine ports: 0-3 down to leaves L1..L4.
+  for (int i = 0; i < ClosTopology::kNumTors; ++i) {
+    t.tors.push_back(net.AddSwitch(hosts_per_tor + 2, opt.switch_config));
+  }
+  for (int i = 0; i < ClosTopology::kNumLeaves; ++i) {
+    t.leaves.push_back(net.AddSwitch(4, opt.switch_config));
+  }
+  for (int i = 0; i < ClosTopology::kNumSpines; ++i) {
+    t.spines.push_back(net.AddSwitch(ClosTopology::kNumLeaves,
+                                     opt.switch_config));
+  }
+
+  t.hosts_by_tor.resize(ClosTopology::kNumTors);
+  for (int tor = 0; tor < ClosTopology::kNumTors; ++tor) {
+    for (int h = 0; h < hosts_per_tor; ++h) {
+      RdmaNic* nic = net.AddHost(opt.nic_config);
+      net.Connect(t.tors[static_cast<size_t>(tor)], h, nic, 0, opt.link_rate,
+                  opt.link_delay);
+      t.hosts_by_tor[static_cast<size_t>(tor)].push_back(nic);
+    }
+  }
+
+  // ToR <-> leaf wiring within each pod.
+  for (int tor = 0; tor < ClosTopology::kNumTors; ++tor) {
+    const int pod = tor / 2;
+    for (int l = 0; l < 2; ++l) {
+      const int leaf = pod * 2 + l;
+      // Leaf down-port 0 or 1 = which ToR of the pod.
+      net.Connect(t.tors[static_cast<size_t>(tor)], hosts_per_tor + l,
+                  t.leaves[static_cast<size_t>(leaf)], tor % 2,
+                  opt.link_rate, opt.link_delay);
+    }
+  }
+
+  // Leaf <-> spine wiring (full mesh).
+  for (int leaf = 0; leaf < ClosTopology::kNumLeaves; ++leaf) {
+    for (int s = 0; s < ClosTopology::kNumSpines; ++s) {
+      net.Connect(t.leaves[static_cast<size_t>(leaf)], 2 + s,
+                  t.spines[static_cast<size_t>(s)], leaf, opt.link_rate,
+                  opt.link_delay);
+    }
+  }
+
+  net.BuildRoutes();
+  return t;
+}
+
+}  // namespace dcqcn

@@ -1,0 +1,53 @@
+// Topology builders.
+//
+//  * Star       — N hosts on one switch (microbenchmarks, incast, Fig. 10,
+//                 Fig. 13, Fig. 19).
+//  * Clos       — the paper's Fig. 2 testbed: four ToRs (T1-T4), four leaves
+//                 (L1-L4), two spines (S1-S2), all links 40 Gbps, ToRs T1/T2
+//                 and leaves L1/L2 in pod 0, T3/T4 and L3/L4 in pod 1, every
+//                 leaf wired to both spines. Each ToR hosts `hosts_per_tor`
+//                 servers (the paper's benchmark uses five).
+#pragma once
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace dcqcn {
+
+struct TopologyOptions {
+  Rate link_rate = Gbps(40);
+  Time link_delay = Microseconds(1);  // per-hop propagation (+ switch fwd)
+  SwitchConfig switch_config;
+  NicConfig nic_config;
+};
+
+struct StarTopology {
+  SharedBufferSwitch* sw = nullptr;
+  std::vector<RdmaNic*> hosts;
+};
+
+StarTopology BuildStar(Network& net, int num_hosts,
+                       const TopologyOptions& opt);
+
+struct ClosTopology {
+  static constexpr int kNumTors = 4;
+  static constexpr int kNumLeaves = 4;
+  static constexpr int kNumSpines = 2;
+
+  std::vector<SharedBufferSwitch*> tors;    // T1..T4 = tors[0..3]
+  std::vector<SharedBufferSwitch*> leaves;  // L1..L4 = leaves[0..3]
+  std::vector<SharedBufferSwitch*> spines;  // S1..S2 = spines[0..1]
+  std::vector<std::vector<RdmaNic*>> hosts_by_tor;
+  int hosts_per_tor = 0;
+
+  // Host `idx` under ToR `tor` (both 0-based).
+  RdmaNic* host(int tor, int idx) const {
+    return hosts_by_tor[static_cast<size_t>(tor)][static_cast<size_t>(idx)];
+  }
+};
+
+ClosTopology BuildClos(Network& net, int hosts_per_tor,
+                       const TopologyOptions& opt);
+
+}  // namespace dcqcn

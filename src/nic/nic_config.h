@@ -1,0 +1,50 @@
+// NIC-level configuration shared by the NIC and its sender QPs.
+#pragma once
+
+#include "common/units.h"
+#include "core/params.h"
+#include "core/qcn.h"
+#include "core/timely.h"
+#include "net/packet.h"
+
+namespace dcqcn {
+
+struct DctcpConfig {
+  Bytes init_cwnd = 10 * kMtu;
+  Bytes min_cwnd = 1 * kMtu;
+  double g = 1.0 / 16.0;  // ECN-fraction EWMA gain (DCTCP paper default)
+};
+
+struct NicConfig {
+  DcqcnParams params;
+  DctcpConfig dctcp;
+  // QCN reaction-point settings (gd / quantization) for kQcn flows; the
+  // increase machinery reuses `params` (byte counter / timer / R_AI).
+  QcnParams qcn;
+  // TIMELY settings for kTimely flows.
+  TimelyParams timely;
+  // Receiver generates one cumulative ACK per this many in-order packets
+  // (and always on end-of-message).
+  int ack_every = 32;
+  // Minimum gap between loss-recovery notifications (NAK / duplicate ACK)
+  // per flow, to avoid feedback storms during go-back-N recovery.
+  Time nak_min_gap = Microseconds(100);
+  // Go-back-N retransmission timeout (backstop when NAKs are lost). Real
+  // RoCE NICs use multi-millisecond timeouts; anything much smaller causes
+  // spurious go-back-N rewinds during long PFC pause episodes.
+  Time rto = Milliseconds(10);
+  // Desynchronization jitter. Real NICs' clocks are not phase-locked across
+  // servers; without jitter a deterministic simulation synchronizes every
+  // sender's rate-increase timer, producing collective rate spikes (and
+  // queue overshoots) that hardware does not show.
+  double timer_jitter = 0.10;   // +/- fraction on RP timer periods
+  double pacing_jitter = 0.02;  // +/- fraction on inter-packet gaps
+  // Loss recovery granularity for the RDMA modes. The paper's ConnectX-3
+  // generation restarts the WHOLE in-progress message on any loss
+  // ("go-back-0"; cf. Guo et al., SIGCOMM'16) — this is why running DCQCN
+  // without PFC is catastrophic (Fig. 18). Set false for packet-granularity
+  // go-back-N (later NICs).
+  bool go_back_zero = true;
+};
+
+}  // namespace dcqcn

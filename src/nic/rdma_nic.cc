@@ -1,0 +1,237 @@
+#include "nic/rdma_nic.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dcqcn {
+
+RdmaNic::RdmaNic(EventQueue* eq, int id, NicConfig config)
+    : Node(id, /*num_ports=*/1), eq_(eq), config_(config) {
+  config_.params.Validate();
+}
+
+RdmaNic::~RdmaNic() { eq_->Cancel(wakeup_); }
+
+Rate RdmaNic::line_rate() const {
+  Link* l = link(0);
+  DCQCN_CHECK(l != nullptr);
+  return l->rate();
+}
+
+SenderQp* RdmaNic::AddFlow(const FlowSpec& spec) {
+  DCQCN_CHECK(spec.src_host == id());
+  DCQCN_CHECK(spec.flow_id >= 0);
+  DCQCN_CHECK(qp_by_flow_.find(spec.flow_id) == qp_by_flow_.end());
+  auto qp = std::make_unique<SenderQp>(eq_, this, spec, config_,
+                                       line_rate());
+  SenderQp* raw = qp.get();
+  qps_.push_back(std::move(qp));
+  qp_by_flow_[spec.flow_id] = raw;
+  const Time delay = std::max<Time>(0, spec.start_time - eq_->Now());
+  eq_->ScheduleIn(delay, [this, raw] {
+    raw->Start();
+    TrySend();
+  });
+  return raw;
+}
+
+SenderQp* RdmaNic::FindQp(int flow_id) const {
+  auto it = qp_by_flow_.find(flow_id);
+  return it == qp_by_flow_.end() ? nullptr : it->second;
+}
+
+Bytes RdmaNic::ReceiverDeliveredBytes(int flow_id) const {
+  auto it = rcv_flows_.find(flow_id);
+  return it == rcv_flows_.end() ? 0 : it->second.delivered;
+}
+
+void RdmaNic::OnQpActivated(SenderQp* /*qp*/) { TrySend(); }
+
+void RdmaNic::OnMessageComplete(SenderQp* /*qp*/, const FlowRecord& rec) {
+  completed_.push_back(rec);
+  for (const auto& cb : completion_cbs_) cb(rec);
+}
+
+void RdmaNic::OnTransmitComplete(int /*port*/) { TrySend(); }
+
+void RdmaNic::ScheduleWakeupAt(Time t) {
+  if (wakeup_armed_ && wakeup_time_ <= t) return;
+  eq_->Cancel(wakeup_);
+  wakeup_time_ = t;
+  wakeup_armed_ = true;
+  wakeup_ = eq_->ScheduleAt(t, [this] {
+    wakeup_armed_ = false;
+    TrySend();
+  });
+}
+
+void RdmaNic::TrySend() {
+  Link* l = link(0);
+  if (l == nullptr || l->Busy(this)) return;
+  const Time now = eq_->Now();
+
+  // Control traffic (ACK/NAK/CNP) first — but it honors PFC for whatever
+  // class the frame rides (CNPs use the high-priority class, ACK/NAK the
+  // data class).
+  if (!ctrl_out_.empty() &&
+      !tx_paused_[static_cast<size_t>(ctrl_out_.front().priority)]) {
+    Packet p = ctrl_out_.front();
+    ctrl_out_.pop_front();
+    l->Transmit(this, p);
+    return;
+  }
+
+  // Data: round robin over QPs that are eligible right now.
+  const size_t n = qps_.size();
+  Time earliest_future = std::numeric_limits<Time>::max();
+  for (size_t i = 0; i < n; ++i) {
+    SenderQp* qp = qps_[(rr_next_ + i) % n].get();
+    if (!qp->HasPacketReady()) continue;
+    if (tx_paused_[static_cast<size_t>(qp->spec().priority)]) continue;
+    const Time at = qp->EligibleAt();
+    if (at > now) {
+      earliest_future = std::min(earliest_future, at);
+      continue;
+    }
+    const Packet p = qp->BuildNextPacket();
+    rr_next_ = (rr_next_ + i + 1) % n;
+    counters_.data_packets_sent++;
+    l->Transmit(this, p);
+    qp->OnPacketSent(now, p);
+    return;
+  }
+  if (earliest_future != std::numeric_limits<Time>::max()) {
+    ScheduleWakeupAt(earliest_future);
+  }
+}
+
+void RdmaNic::ReceivePacket(const Packet& p, int /*in_port*/) {
+  const Time now = eq_->Now();
+  switch (p.type) {
+    case PacketType::kPause:
+    case PacketType::kResume: {
+      counters_.pause_frames_received++;
+      tx_paused_[static_cast<size_t>(p.pfc_priority)] =
+          (p.type == PacketType::kPause);
+      if (p.type == PacketType::kResume) TrySend();
+      return;
+    }
+    case PacketType::kData:
+      HandleData(p);
+      return;
+    case PacketType::kAck: {
+      if (SenderQp* qp = FindQp(p.flow_id)) {
+        qp->OnAck(now, p.seq, p.ecn_ce, p.tx_timestamp);
+      }
+      return;
+    }
+    case PacketType::kNak: {
+      if (SenderQp* qp = FindQp(p.flow_id)) qp->OnNak(now, p.seq);
+      return;
+    }
+    case PacketType::kCnp: {
+      if (SenderQp* qp = FindQp(p.flow_id)) qp->OnCnp(now);
+      return;
+    }
+    case PacketType::kQcnFeedback: {
+      if (SenderQp* qp = FindQp(p.flow_id)) qp->OnQcnFeedback(now, p.qcn_fbq);
+      return;
+    }
+  }
+}
+
+void RdmaNic::HandleData(const Packet& p) {
+  const Time now = eq_->Now();
+  counters_.data_packets_received++;
+  auto [it, inserted] = rcv_flows_.try_emplace(p.flow_id);
+  RcvFlow& rcv = it->second;
+  if (inserted) {
+    rcv.src_host = p.src_host;
+    rcv.ecmp_key = p.ecmp_key;
+    rcv.transport = p.transport;
+  }
+  rcv.last_data_ts = p.tx_timestamp;
+
+  // NP: CE-marked packets of DCQCN flows elicit CNPs (Fig. 6), at most one
+  // per flow per cnp_interval and subject to the NIC-wide generation gate.
+  if (p.ecn_ce) {
+    counters_.marked_packets_received++;
+    if (p.transport == TransportMode::kRdmaDcqcn &&
+        rcv.np.OnMarkedPacket(now, config_.params) &&
+        cnp_gate_.Allow(now, config_.params)) {
+      counters_.cnps_sent++;
+      SendControl(PacketType::kCnp, rcv, p.flow_id, /*seq=*/0,
+                  /*ecn_echo=*/false);
+    }
+  }
+
+  if (p.message_restart && p.seq < rcv.expect) {
+    // Go-back-0: the sender restarted the in-progress message; rewind the
+    // expected sequence and take the retransmission in order. (Duplicate
+    // payload bytes are counted again in `delivered` — goodput accounting
+    // for lossy runs uses sender-side completion records instead.)
+    rcv.expect = p.seq;
+  }
+  if (p.seq == rcv.expect) {
+    // In-order delivery.
+    rcv.expect++;
+    rcv.delivered += p.size_bytes;
+    rcv.in_order_since_ack++;
+    if (p.transport == TransportMode::kDctcp) {
+      // DCTCP: per-packet ACK echoing this packet's CE bit.
+      counters_.acks_sent++;
+      SendControl(PacketType::kAck, rcv, p.flow_id, rcv.expect, p.ecn_ce);
+    } else if (p.last_of_message ||
+               rcv.in_order_since_ack >= config_.ack_every) {
+      counters_.acks_sent++;
+      rcv.in_order_since_ack = 0;
+      SendControl(PacketType::kAck, rcv, p.flow_id, rcv.expect,
+                  /*ecn_echo=*/false);
+    }
+  } else if (p.seq > rcv.expect) {
+    // Gap: a packet was lost (or reordered). Go-back-N: ask the sender to
+    // rewind, paced so a burst of out-of-order arrivals sends one NAK.
+    counters_.out_of_order_packets++;
+    if (!rcv.nak_ever || now - rcv.last_nak >= config_.nak_min_gap) {
+      rcv.nak_ever = true;
+      rcv.last_nak = now;
+      counters_.naks_sent++;
+      SendControl(PacketType::kNak, rcv, p.flow_id, rcv.expect,
+                  /*ecn_echo=*/false);
+    }
+  } else {
+    // Duplicate of already-delivered data (post-rewind overlap): re-ACK so
+    // the sender's cumulative state advances.
+    if (!rcv.nak_ever || now - rcv.last_nak >= config_.nak_min_gap) {
+      rcv.last_nak = now;
+      counters_.acks_sent++;
+      SendControl(PacketType::kAck, rcv, p.flow_id, rcv.expect,
+                  p.transport == TransportMode::kDctcp && p.ecn_ce);
+    }
+  }
+}
+
+void RdmaNic::SendControl(PacketType type, const RcvFlow& rcv, int flow_id,
+                          uint64_t seq, bool ecn_echo) {
+  Packet c;
+  c.type = type;
+  c.flow_id = flow_id;
+  c.src_host = id();
+  c.dst_host = rcv.src_host;
+  // Only CNPs ride the high-priority class ("we send CNPs with high
+  // priority", §3.3); ACKs and NAKs share the data class like any RoCE
+  // response, so reverse-path congestion delays them — the effect TIMELY
+  // is sensitive to and DCQCN is not.
+  c.priority =
+      type == PacketType::kCnp ? kControlPriority : kDataPriority;
+  c.size_bytes = kControlFrameBytes;
+  c.seq = seq;
+  c.ecn_ce = ecn_echo;
+  c.transport = rcv.transport;
+  c.tx_timestamp = type == PacketType::kAck ? rcv.last_data_ts : 0;
+  c.ecmp_key = rcv.ecmp_key;
+  ctrl_out_.push_back(c);
+  TrySend();
+}
+
+}  // namespace dcqcn

@@ -1,0 +1,116 @@
+// Simulated RDMA NIC (one uplink port).
+//
+// The NIC owns sender QPs and receiver flow state, schedules the uplink
+// among QPs (round robin over eligible flows, control traffic first), honors
+// PFC PAUSE from the top-of-rack switch, and implements the receiver-side
+// duties: go-back-N ACK/NAK generation, DCTCP ECN echo, and the DCQCN NP
+// (CNP generation, paced per flow and gated NIC-wide like the ConnectX-3
+// CNP engine).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "core/np.h"
+#include "core/params.h"
+#include "net/link.h"
+#include "net/node.h"
+#include "nic/flow.h"
+#include "nic/nic_config.h"
+#include "nic/sender_qp.h"
+#include "sim/event_queue.h"
+
+namespace dcqcn {
+
+struct NicCounters {
+  int64_t data_packets_sent = 0;
+  int64_t data_packets_received = 0;
+  int64_t marked_packets_received = 0;
+  int64_t cnps_sent = 0;
+  int64_t acks_sent = 0;
+  int64_t naks_sent = 0;
+  int64_t pause_frames_received = 0;
+  int64_t out_of_order_packets = 0;
+};
+
+class RdmaNic : public Node {
+ public:
+  RdmaNic(EventQueue* eq, int id, NicConfig config);
+  ~RdmaNic() override;
+
+  // Creates a sender QP for `spec` (src_host must be this NIC) and schedules
+  // its start. Returns a non-owning pointer valid for the NIC's lifetime.
+  SenderQp* AddFlow(const FlowSpec& spec);
+
+  // Node interface.
+  void ReceivePacket(const Packet& p, int in_port) override;
+  void OnTransmitComplete(int port) override;
+
+  // --- called by SenderQp ---
+  void OnQpActivated(SenderQp* qp);  // eligibility may have changed
+  void OnMessageComplete(SenderQp* qp, const FlowRecord& rec);
+  EventQueue* eq() { return eq_; }
+
+  // Completion callbacks (flow records are also retained internally); any
+  // number of observers may register.
+  void AddCompletionCallback(std::function<void(const FlowRecord&)> cb) {
+    completion_cbs_.push_back(std::move(cb));
+  }
+
+  // --- telemetry ---
+  Rate line_rate() const;
+  const NicCounters& counters() const { return counters_; }
+  const std::vector<FlowRecord>& completed_flows() const { return completed_; }
+  // Bytes delivered in order to this NIC for `flow_id` (receiver side).
+  Bytes ReceiverDeliveredBytes(int flow_id) const;
+  SenderQp* FindQp(int flow_id) const;
+  const NicConfig& config() const { return config_; }
+  bool TxPaused(int priority) const {
+    return tx_paused_[static_cast<size_t>(priority)];
+  }
+
+ private:
+  struct RcvFlow {
+    int32_t src_host = -1;
+    uint64_t ecmp_key = 0;
+    TransportMode transport = TransportMode::kRdmaDcqcn;
+    uint64_t expect = 0;       // next in-order sequence
+    Time last_data_ts = 0;     // echoed on ACKs for RTT measurement
+    Bytes delivered = 0;       // cumulative in-order payload bytes
+    int64_t in_order_since_ack = 0;
+    NpState np;
+    bool nak_ever = false;
+    Time last_nak = 0;
+  };
+
+  void TrySend();
+  void ScheduleWakeupAt(Time t);
+  void HandleData(const Packet& p);
+  void SendControl(PacketType type, const RcvFlow& rcv, int flow_id,
+                   uint64_t seq, bool ecn_echo);
+
+  EventQueue* eq_;
+  NicConfig config_;
+
+  std::vector<std::unique_ptr<SenderQp>> qps_;
+  std::unordered_map<int, SenderQp*> qp_by_flow_;
+  std::unordered_map<int, RcvFlow> rcv_flows_;
+  std::deque<Packet> ctrl_out_;
+  CnpGenerationGate cnp_gate_;
+
+  bool tx_paused_[kNumPriorities] = {};
+  size_t rr_next_ = 0;
+  EventHandle wakeup_;
+  Time wakeup_time_ = 0;
+  bool wakeup_armed_ = false;
+
+  std::vector<std::function<void(const FlowRecord&)>> completion_cbs_;
+  std::vector<FlowRecord> completed_;
+  NicCounters counters_;
+};
+
+}  // namespace dcqcn

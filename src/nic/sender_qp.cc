@@ -1,0 +1,357 @@
+#include "nic/sender_qp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "nic/rdma_nic.h"
+
+namespace dcqcn {
+
+SenderQp::SenderQp(EventQueue* eq, RdmaNic* nic, FlowSpec spec,
+                   const NicConfig& config, Rate line_rate)
+    : eq_(eq),
+      nic_(nic),
+      spec_(spec),
+      params_(config.params),
+      dctcp_(config.dctcp),
+      qcn_(config.qcn),
+      line_rate_(line_rate),
+      rto_(config.rto),
+      timer_jitter_(config.timer_jitter),
+      pacing_jitter_(config.pacing_jitter),
+      rng_(static_cast<uint64_t>(spec.flow_id) * 2654435761ULL + 12345),
+      unbounded_(spec.unbounded()),
+      go_back_zero_(config.go_back_zero) {
+  DCQCN_CHECK(line_rate_ > 0);
+  if (spec_.mode == TransportMode::kRdmaDcqcn ||
+      spec_.mode == TransportMode::kQcn) {
+    rp_ = std::make_unique<RpState>(params_, line_rate_);
+  } else if (spec_.mode == TransportMode::kDctcp) {
+    cwnd_ = dctcp_.init_cwnd;
+  } else if (spec_.mode == TransportMode::kTimely) {
+    timely_ = std::make_unique<TimelyState>(config.timely, line_rate_);
+  }
+  if (unbounded_) {
+    // One endless message.
+    messages_.push_back(Message{0, std::numeric_limits<uint64_t>::max(), 0,
+                                spec_.start_time});
+    send_limit_ = std::numeric_limits<uint64_t>::max();
+  } else {
+    EnqueueMessage(spec_.size_bytes);
+  }
+}
+
+SenderQp::~SenderQp() {
+  eq_->Cancel(retx_timer_);
+  eq_->Cancel(alpha_timer_);
+  eq_->Cancel(rate_timer_);
+}
+
+void SenderQp::EnqueueMessage(Bytes bytes) {
+  DCQCN_CHECK(!unbounded_);
+  DCQCN_CHECK(bytes > 0);
+  const auto pkts = static_cast<uint64_t>((bytes + kMtu - 1) / kMtu);
+  Message m;
+  m.begin_seq = send_limit_;
+  m.end_seq = send_limit_ + pkts;
+  m.bytes = bytes;
+  // The transfer clock starts when the message can first transmit: now for
+  // an idle QP, or when the QP works through the backlog ahead of it (the
+  // earlier enqueue time is what per-transfer goodput measures).
+  m.start_time = std::max(eq_->Now(), spec_.start_time);
+  messages_.push_back(m);
+  send_limit_ = m.end_seq;
+  if (started_) nic_->OnQpActivated(this);
+}
+
+Rate SenderQp::current_rate() const {
+  if (rp_ && rp_->limiting()) return rp_->current_rate();
+  if (timely_) return timely_->rate();
+  return line_rate_;
+}
+
+void SenderQp::Start() {
+  DCQCN_CHECK(!started_);
+  started_ = true;
+  actual_start_ = eq_->Now();
+  next_allowed_ = eq_->Now();
+}
+
+bool SenderQp::WindowAllows() const {
+  if (spec_.mode != TransportMode::kDctcp) return true;
+  const Bytes in_flight =
+      static_cast<Bytes>(snd_next_ - snd_una_) * kMtu;
+  return in_flight + kMtu <= cwnd_;
+}
+
+bool SenderQp::HasPacketReady() const {
+  return started_ && snd_next_ < send_limit_ && WindowAllows();
+}
+
+Bytes SenderQp::PacketBytes(uint64_t seq) const {
+  // Locate the message containing `seq` (the deque is short: outstanding
+  // transfers on one QP).
+  for (const Message& m : messages_) {
+    if (seq < m.begin_seq || seq >= m.end_seq) continue;
+    if (seq + 1 < m.end_seq) return kMtu;
+    if (m.bytes == 0) return kMtu;  // unbounded sentinel
+    const Bytes rem =
+        m.bytes - static_cast<Bytes>(seq - m.begin_seq) * kMtu;
+    return std::clamp<Bytes>(rem, 1, kMtu);
+  }
+  return kMtu;  // already-completed region (stale retransmit)
+}
+
+bool SenderQp::IsLastOfMessage(uint64_t seq) const {
+  for (const Message& m : messages_) {
+    if (seq + 1 == m.end_seq) return true;
+    if (seq < m.end_seq) return false;
+  }
+  return false;
+}
+
+Packet SenderQp::BuildNextPacket() const {
+  DCQCN_CHECK(HasPacketReady());
+  Packet p;
+  p.type = PacketType::kData;
+  p.flow_id = spec_.flow_id;
+  p.src_host = spec_.src_host;
+  p.dst_host = spec_.dst_host;
+  p.priority = spec_.priority;
+  p.size_bytes = PacketBytes(snd_next_);
+  p.seq = snd_next_;
+  p.last_of_message = IsLastOfMessage(snd_next_);
+  // Go-back-0: every retransmitted packet of a restarted message tells the
+  // receiver to rewind, so the whole message is re-delivered even when some
+  // of the retransmissions are lost too.
+  p.message_restart = go_back_zero_ && !unbounded_ &&
+                      spec_.mode != TransportMode::kDctcp &&
+                      snd_next_ < snd_high_;
+  p.transport = spec_.mode;
+  p.tx_timestamp = eq_->Now();
+  p.ecmp_key = FlowEcmpKey(spec_.flow_id, spec_.ecmp_salt);
+  return p;
+}
+
+void SenderQp::OnPacketSent(Time now, const Packet& p) {
+  DCQCN_CHECK(p.seq == snd_next_);
+  ++snd_next_;
+  snd_high_ = std::max(snd_high_, snd_next_);
+  counters_.packets_sent++;
+  counters_.bytes_sent += p.size_bytes;
+
+  if (spec_.mode != TransportMode::kDctcp) {
+    // Pacing: the next packet may start one ideal inter-packet gap after
+    // this one at the current rate (jittered like a hardware rate limiter's
+    // quantization). At line rate the gap equals the wire serialization
+    // time, i.e. back-to-back transmission.
+    next_allowed_ =
+        std::max(now, next_allowed_) +
+        Jittered(TransmissionTime(p.size_bytes, current_rate()),
+                 pacing_jitter_);
+  }
+
+  if (rp_) {
+    const bool was_limiting = rp_->limiting();
+    rp_->OnBytesSent(p.size_bytes);
+    if (was_limiting && !rp_->limiting()) {
+      // Recovered to line rate: the limiter released; stop the timers.
+      eq_->Cancel(alpha_timer_);
+      eq_->Cancel(rate_timer_);
+    }
+  }
+
+  if (!retx_timer_.valid() || snd_una_ == p.seq) ArmRetxTimer(now);
+}
+
+void SenderQp::ArmRetxTimer(Time now) {
+  eq_->Cancel(retx_timer_);
+  if (snd_una_ >= snd_next_) {
+    retx_timer_ = EventHandle{};
+    return;
+  }
+  retx_timer_ = eq_->ScheduleAt(now + rto_, [this] { OnRetxTimeout(); });
+}
+
+void SenderQp::OnRetxTimeout() {
+  retx_timer_ = EventHandle{};
+  if (snd_una_ >= snd_next_) return;
+  counters_.timeouts++;
+  RewindForLoss(eq_->Now());
+  ArmRetxTimer(eq_->Now());
+  nic_->OnQpActivated(this);
+}
+
+void SenderQp::RewindForLoss(Time now) {
+  uint64_t target = snd_una_;
+  if (go_back_zero_ && spec_.mode != TransportMode::kDctcp &&
+      !messages_.empty() && !unbounded_) {
+    // ConnectX-3-style go-back-0: the whole in-progress message restarts.
+    target = std::min(target, messages_.front().begin_seq);
+  }
+  counters_.retransmitted_packets +=
+      static_cast<int64_t>(snd_next_ - target);
+  snd_next_ = target;
+  snd_una_ = std::min(snd_una_, target);
+  next_allowed_ = std::max(next_allowed_, now);
+}
+
+void SenderQp::OnAck(Time now, uint64_t cumulative_seq, bool ecn_echo,
+                     Time echo_timestamp) {
+  if (timely_ && echo_timestamp > 0 && now > echo_timestamp) {
+    timely_->OnRttSample(now - echo_timestamp);
+  }
+  if (cumulative_seq > snd_una_) {
+    const Bytes acked =
+        static_cast<Bytes>(cumulative_seq - snd_una_) * kMtu;
+    snd_una_ = std::min<uint64_t>(cumulative_seq, snd_next_);
+    if (spec_.mode == TransportMode::kDctcp) DctcpOnAck(acked, ecn_echo);
+    ArmRetxTimer(now);
+    CompleteMessages(now);
+    nic_->OnQpActivated(this);  // DCTCP window / message queue advanced
+  } else if (spec_.mode == TransportMode::kDctcp) {
+    // Duplicate cumulative ACK still carries an ECN echo sample.
+    DctcpOnAck(0, ecn_echo);
+  }
+}
+
+void SenderQp::CompleteMessages(Time now) {
+  while (!messages_.empty() && !unbounded_ &&
+         snd_una_ >= messages_.front().end_seq) {
+    const Message m = messages_.front();
+    messages_.pop_front();
+    // The next message's service starts now (per-transfer goodput measures
+    // service time, not time spent queued behind earlier transfers).
+    if (!messages_.empty() && messages_.front().start_time < now) {
+      messages_.front().start_time = now;
+    }
+    FlowRecord rec;
+    rec.spec = spec_;
+    rec.spec.size_bytes = m.bytes;
+    rec.start_time = m.start_time;
+    rec.finish_time = now;
+    rec.bytes = m.bytes;
+    nic_->OnMessageComplete(this, rec);
+  }
+}
+
+void SenderQp::OnNak(Time now, uint64_t expected_seq) {
+  counters_.naks_received++;
+  // A NAK acknowledges everything before `expected_seq`...
+  if (expected_seq > snd_una_) {
+    snd_una_ = std::min(expected_seq, snd_next_);
+    CompleteMessages(now);
+  }
+  // ...and signals a loss: rewind (go-back-N to the gap, or restart the
+  // whole message on go-back-0 hardware).
+  if (expected_seq < snd_next_) {
+    if (!go_back_zero_ || spec_.mode == TransportMode::kDctcp ||
+        unbounded_) {
+      counters_.retransmitted_packets +=
+          static_cast<int64_t>(snd_next_ - expected_seq);
+      snd_next_ = expected_seq;
+      snd_una_ = std::min(snd_una_, expected_seq);
+      next_allowed_ = std::max(next_allowed_, now);
+    } else {
+      RewindForLoss(now);
+    }
+  }
+  ArmRetxTimer(now);
+  nic_->OnQpActivated(this);
+}
+
+void SenderQp::OnCnp(Time now) {
+  counters_.cnps_received++;
+  if (!rp_) return;
+  rp_->OnCnp();
+  // Fig. 7: Reset(Timer, ByteCounter, T, BC, AlphaTimer) — re-arm both
+  // timers from now.
+  ArmAlphaTimer();
+  ArmRateTimer();
+  (void)now;
+}
+
+Time SenderQp::Jittered(Time base, double frac) {
+  if (frac <= 0) return base;
+  const double factor = 1.0 + frac * (2.0 * rng_.Uniform() - 1.0);
+  return static_cast<Time>(static_cast<double>(base) * factor);
+}
+
+void SenderQp::OnQcnFeedback(Time now, int fbq) {
+  counters_.cnps_received++;  // congestion notifications, QCN flavor
+  if (!rp_ || spec_.mode != TransportMode::kQcn) return;
+  const QcnParams& q = qcn_;
+  const double cut =
+      std::clamp(q.gd * static_cast<double>(fbq) / q.quant_levels, 1e-6,
+                 0.5);
+  rp_->OnQcnFeedback(cut);
+  ArmRateTimer();
+  (void)now;
+}
+
+void SenderQp::ArmAlphaTimer() {
+  eq_->Cancel(alpha_timer_);
+  alpha_timer_ = eq_->ScheduleIn(Jittered(params_.alpha_timer, timer_jitter_),
+                                 [this] {
+    alpha_timer_ = EventHandle{};
+    if (!rp_ || !rp_->limiting()) return;
+    rp_->OnAlphaTimer();
+    ArmAlphaTimer();
+  });
+}
+
+void SenderQp::ArmRateTimer() {
+  eq_->Cancel(rate_timer_);
+  rate_timer_ = eq_->ScheduleIn(
+      Jittered(params_.rate_increase_timer, timer_jitter_), [this] {
+    rate_timer_ = EventHandle{};
+    if (!rp_ || !rp_->limiting()) return;
+    const bool was_limiting = rp_->limiting();
+    rp_->OnRateTimer();
+    if (was_limiting && !rp_->limiting()) {
+      eq_->Cancel(alpha_timer_);
+      return;
+    }
+    ArmRateTimer();
+  });
+}
+
+void SenderQp::DctcpOnAck(Bytes acked_bytes, bool ecn_echo) {
+  window_acked_ += std::max<Bytes>(acked_bytes, kMtu);
+  if (ecn_echo) {
+    window_marked_ += std::max<Bytes>(acked_bytes, kMtu);
+    in_slow_start_ = false;
+  }
+
+  // Window growth: slow start doubles per RTT; congestion avoidance adds
+  // one MSS per window of acknowledged bytes.
+  if (in_slow_start_) {
+    cwnd_ += acked_bytes;
+  } else {
+    ca_byte_accum_ += acked_bytes;
+    if (ca_byte_accum_ >= cwnd_) {
+      ca_byte_accum_ -= cwnd_;
+      cwnd_ += kMtu;
+    }
+  }
+
+  // Once per window: update the ECN fraction estimate and cut (DCTCP).
+  if (snd_una_ >= window_end_) {
+    const double f = window_acked_ > 0
+                         ? static_cast<double>(window_marked_) /
+                               static_cast<double>(window_acked_)
+                         : 0.0;
+    dctcp_alpha_ = (1.0 - dctcp_.g) * dctcp_alpha_ + dctcp_.g * f;
+    if (window_marked_ > 0) {
+      cwnd_ = std::max<Bytes>(
+          dctcp_.min_cwnd,
+          static_cast<Bytes>(static_cast<double>(cwnd_) *
+                             (1.0 - dctcp_alpha_ / 2.0)));
+    }
+    window_end_ = snd_next_;
+    window_acked_ = 0;
+    window_marked_ = 0;
+  }
+}
+
+}  // namespace dcqcn

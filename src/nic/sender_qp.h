@@ -1,0 +1,168 @@
+// Sender-side queue pair (QP): one per outgoing flow.
+//
+// Combines three concerns the NIC hardware combines:
+//   * reliable delivery  — RoCE-style go-back-N (cumulative ACKs, NAK on
+//     out-of-sequence at the receiver, retransmission timeout as backstop);
+//   * rate enforcement   — per-flow pacing at the RP's current rate for the
+//     RDMA modes ("The rate limiting is on a per-packet granularity", §3.3);
+//     flows start at full line rate, no slow start;
+//   * DCQCN RP           — the per-flow state machine plus its two timers
+//     (alpha timer and rate-increase timer), which the QP arms in the event
+//     queue only while the limiter is engaged;
+//   * DCTCP mode         — a byte-counted congestion window with per-ACK
+//     ECN-fraction estimation instead of pacing; transmission is bursty (the
+//     host pushes segments back-to-back at line rate while the window
+//     allows), modeling the OS/NIC LSO interaction the paper blames for
+//     DCTCP's deeper queues (§6.3).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/params.h"
+#include "core/rp.h"
+#include "core/timely.h"
+#include "net/packet.h"
+#include "nic/flow.h"
+#include "nic/nic_config.h"
+#include "sim/event_queue.h"
+
+namespace dcqcn {
+
+class RdmaNic;
+
+struct QpCounters {
+  int64_t packets_sent = 0;     // includes retransmissions
+  int64_t bytes_sent = 0;
+  int64_t retransmitted_packets = 0;
+  int64_t naks_received = 0;
+  int64_t timeouts = 0;
+  int64_t cnps_received = 0;
+};
+
+class SenderQp {
+ public:
+  SenderQp(EventQueue* eq, RdmaNic* nic, FlowSpec spec,
+           const NicConfig& config, Rate line_rate);
+  ~SenderQp();
+
+  SenderQp(const SenderQp&) = delete;
+  SenderQp& operator=(const SenderQp&) = delete;
+
+  const FlowSpec& spec() const { return spec_; }
+  const QpCounters& counters() const { return counters_; }
+  bool started() const { return started_; }
+  // True when every enqueued message has been acknowledged. A "complete"
+  // QP stays usable: EnqueueMessage() resumes transmission with the warm
+  // rate-limiter state, which is how RoCE applications issue consecutive
+  // transfers on one connection.
+  bool complete() const { return messages_.empty(); }
+
+  // Appends a `bytes`-sized message to this QP. Each message completion
+  // produces its own FlowRecord (the unit the paper's "transfers" measure).
+  // Only valid for bounded flows (unbounded flows are a single endless
+  // message).
+  void EnqueueMessage(Bytes bytes);
+  Rate current_rate() const;
+  const RpState* rp() const { return rp_.get(); }
+  const TimelyState* timely() const { return timely_.get(); }
+  Bytes cwnd() const { return cwnd_; }
+  double dctcp_alpha() const { return dctcp_alpha_; }
+
+  // --- scheduling interface used by the NIC transmit scheduler ---
+  void Start();                 // flow start time reached
+  bool HasPacketReady() const;  // data available and window permits
+  // Earliest time pacing allows the next packet; only meaningful when
+  // HasPacketReady(). For window mode this is "now" (no pacing).
+  Time EligibleAt() const { return next_allowed_; }
+  // Builds the next packet (does not advance state).
+  Packet BuildNextPacket() const;
+  // The NIC handed the packet to the wire at `now`.
+  void OnPacketSent(Time now, const Packet& p);
+
+  // --- feedback from the network ---
+  void OnAck(Time now, uint64_t cumulative_seq, bool ecn_echo,
+             Time echo_timestamp = 0);
+  void OnNak(Time now, uint64_t expected_seq);
+  void OnCnp(Time now);
+  void OnQcnFeedback(Time now, int fbq);
+
+ private:
+  bool WindowAllows() const;
+  Bytes PacketBytes(uint64_t seq) const;
+  bool IsLastOfMessage(uint64_t seq) const;
+  void ArmRetxTimer(Time now);
+  void OnRetxTimeout();
+  // Loss rewind: go-back-N to snd_una_, or (go-back-0 hardware) restart the
+  // in-progress message from its first packet.
+  void RewindForLoss(Time now);
+  void ArmAlphaTimer();
+  void ArmRateTimer();
+  // Pops and reports every leading message fully covered by snd_una_.
+  void CompleteMessages(Time now);
+  void DctcpOnAck(Bytes acked_bytes, bool ecn_echo);
+
+  // Jittered interval: base * (1 +/- frac), drawn per use from this QP's
+  // private RNG (seeded by flow id, so runs replay deterministically).
+  Time Jittered(Time base, double frac);
+
+  EventQueue* eq_;
+  RdmaNic* nic_;
+  const FlowSpec spec_;
+  const DcqcnParams params_;
+  const DctcpConfig dctcp_;
+  const QcnParams qcn_;
+  const Rate line_rate_;
+  const Time rto_;
+  const double timer_jitter_;
+  const double pacing_jitter_;
+  Rng rng_;
+
+  bool started_ = false;
+  Time actual_start_ = 0;
+
+  // Outstanding messages in sequence order. For unbounded flows this holds
+  // a single sentinel message that never completes.
+  struct Message {
+    uint64_t begin_seq = 0;
+    uint64_t end_seq = 0;  // exclusive
+    Bytes bytes = 0;
+    Time start_time = 0;  // when its first packet became sendable
+  };
+  std::deque<Message> messages_;
+  uint64_t send_limit_ = 0;  // total packets across all enqueued messages
+  const bool unbounded_;
+
+  // go-back-N / go-back-0
+  uint64_t snd_next_ = 0;  // next sequence to transmit
+  uint64_t snd_una_ = 0;   // lowest unacknowledged sequence
+  uint64_t snd_high_ = 0;  // highest sequence ever transmitted + 1
+  const bool go_back_zero_;
+  EventHandle retx_timer_;
+
+  // pacing (RDMA modes)
+  Time next_allowed_ = 0;
+
+  // DCQCN RP (kRdmaDcqcn / kQcn modes)
+  std::unique_ptr<RpState> rp_;
+  // TIMELY (kTimely mode)
+  std::unique_ptr<TimelyState> timely_;
+  EventHandle alpha_timer_;
+  EventHandle rate_timer_;
+
+  // DCTCP (only in kDctcp mode)
+  Bytes cwnd_ = 0;
+  double dctcp_alpha_ = 0.0;
+  Bytes window_acked_ = 0;
+  Bytes window_marked_ = 0;
+  uint64_t window_end_ = 0;  // alpha update when snd_una passes this
+  bool in_slow_start_ = true;
+  Bytes ca_byte_accum_ = 0;
+
+  QpCounters counters_;
+};
+
+}  // namespace dcqcn

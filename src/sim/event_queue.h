@@ -1,0 +1,146 @@
+// Discrete-event scheduler core.
+//
+// The EventQueue is a binary min-heap keyed on (time, sequence). The sequence
+// number breaks ties deterministically in FIFO order: two events scheduled
+// for the same picosecond fire in the order they were scheduled, which keeps
+// whole simulations reproducible across runs and platforms.
+//
+// Events are arbitrary move-constructed callables. Cancellation is handled
+// with tombstones rather than heap surgery: Cancel() marks the entry dead and
+// the entry is skipped (and popped lazily) when it reaches the top.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace dcqcn {
+
+class EventQueue;
+
+// Opaque handle to a scheduled event; obtained from EventQueue::Schedule and
+// usable with Cancel(). A default-constructed handle refers to nothing.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(uint64_t id) : id_(id) {}
+  uint64_t id_ = 0;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Current simulated time. Advances monotonically as events run.
+  Time Now() const { return now_; }
+
+  // Schedules `cb` to run at absolute time `at` (must be >= Now()).
+  EventHandle ScheduleAt(Time at, Callback cb) {
+    DCQCN_CHECK(at >= now_);
+    const uint64_t id = next_id_++;
+    heap_.push(Entry{at, id, std::move(cb)});
+    pending_.insert(id);
+    return EventHandle{id};
+  }
+
+  // Schedules `cb` to run `delay` from now.
+  EventHandle ScheduleIn(Time delay, Callback cb) {
+    DCQCN_CHECK(delay >= 0);
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Cancels a pending event. Returns true if the event had not yet fired and
+  // was cancelled; false for stale, fired, or default handles.
+  bool Cancel(EventHandle h) {
+    if (!h.valid()) return false;
+    if (pending_.erase(h.id_) == 0) return false;
+    cancelled_.insert(h.id_);
+    return true;
+  }
+
+  // True if no runnable (non-cancelled) events remain.
+  bool Empty() const { return pending_.empty(); }
+
+  size_t PendingEvents() const { return pending_.size(); }
+
+  // Runs the next event; returns false if the queue had no live events.
+  bool RunOne() {
+    while (!heap_.empty()) {
+      if (auto c = cancelled_.find(heap_.top().id); c != cancelled_.end()) {
+        cancelled_.erase(c);
+        heap_.pop();
+        continue;
+      }
+      // Move the entry out before running: the callback may schedule.
+      Entry e = std::move(const_cast<Entry&>(heap_.top()));
+      heap_.pop();
+      DCQCN_CHECK(e.at >= now_);
+      now_ = e.at;
+      pending_.erase(e.id);
+      e.cb();
+      return true;
+    }
+    return false;
+  }
+
+  // Runs events until the queue drains or the next live event lies beyond
+  // `deadline`. Events at exactly `deadline` do run. Returns the number of
+  // events executed; afterwards Now() >= deadline unless the queue drained
+  // earlier (then Now() is advanced to `deadline` as well).
+  uint64_t RunUntil(Time deadline) {
+    uint64_t n = 0;
+    while (!heap_.empty()) {
+      if (auto c = cancelled_.find(heap_.top().id); c != cancelled_.end()) {
+        cancelled_.erase(c);
+        heap_.pop();
+        continue;
+      }
+      if (heap_.top().at > deadline) break;
+      RunOne();
+      ++n;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+  }
+
+  // Runs until the queue is drained. Returns events executed.
+  uint64_t RunAll() {
+    uint64_t n = 0;
+    while (RunOne()) ++n;
+    return n;
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<uint64_t> pending_;    // scheduled, not yet fired
+  std::unordered_set<uint64_t> cancelled_;  // tombstones awaiting pop
+};
+
+}  // namespace dcqcn

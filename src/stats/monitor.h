@@ -1,0 +1,105 @@
+// Periodic in-simulation monitors.
+//
+//  * FlowRateMonitor — samples per-flow delivered bytes at the receiver on a
+//    fixed period and converts deltas to instantaneous goodput, producing a
+//    rate TimeSeries per flow (what the paper plots in Figs. 8-10, 13).
+//  * QueueMonitor    — samples an arbitrary Bytes-valued probe (e.g. a
+//    switch egress queue) into a TimeSeries / Cdf (Figs. 12, 19).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/event_queue.h"
+#include "stats/stats.h"
+
+namespace dcqcn {
+
+class FlowRateMonitor {
+ public:
+  // `period` is both the sampling period and the rate-averaging window.
+  FlowRateMonitor(EventQueue* eq, Time period) : eq_(eq), period_(period) {
+    DCQCN_CHECK(period > 0);
+  }
+
+  // Track a flow; `delivered_bytes` must return the receiver's cumulative
+  // in-order byte count. Returns the flow's index for Series().
+  size_t Track(std::string label, std::function<Bytes()> delivered_bytes) {
+    flows_.push_back(
+        Tracked{std::move(label), std::move(delivered_bytes), 0, {}});
+    return flows_.size() - 1;
+  }
+
+  void Start() { Arm(); }
+
+  const TimeSeries& Series(size_t idx) const { return flows_[idx].series; }
+  const std::string& Label(size_t idx) const { return flows_[idx].label; }
+  size_t NumFlows() const { return flows_.size(); }
+
+  // Mean rate (Gbps) of flow `idx` over [from, to).
+  double MeanGbps(size_t idx, Time from, Time to) const {
+    return flows_[idx].series.MeanOver(from, to);
+  }
+
+ private:
+  struct Tracked {
+    std::string label;
+    std::function<Bytes()> delivered;
+    Bytes last = 0;
+    TimeSeries series;  // value = goodput in Gbps over the last period
+  };
+
+  void Arm() {
+    eq_->ScheduleIn(period_, [this] {
+      const Time now = eq_->Now();
+      for (Tracked& f : flows_) {
+        const Bytes cur = f.delivered();
+        const double gbps = static_cast<double>(cur - f.last) * 8.0 /
+                            ToSeconds(period_) / 1e9;
+        f.last = cur;
+        f.series.Add(now, gbps);
+      }
+      Arm();
+    });
+  }
+
+  EventQueue* eq_;
+  Time period_;
+  std::vector<Tracked> flows_;
+};
+
+class QueueMonitor {
+ public:
+  QueueMonitor(EventQueue* eq, Time period, std::function<Bytes()> probe)
+      : eq_(eq), period_(period), probe_(std::move(probe)) {
+    DCQCN_CHECK(period > 0);
+  }
+
+  void Start() { Arm(); }
+
+  const TimeSeries& series() const { return series_; }
+  Cdf ToCdf(Time from = 0) const {
+    Cdf c;
+    for (const auto& [t, v] : series_.points) {
+      if (t >= from) c.Add(v);
+    }
+    return c;
+  }
+
+ private:
+  void Arm() {
+    eq_->ScheduleIn(period_, [this] {
+      series_.Add(eq_->Now(), static_cast<double>(probe_()));
+      Arm();
+    });
+  }
+
+  EventQueue* eq_;
+  Time period_;
+  std::function<Bytes()> probe_;
+  TimeSeries series_;
+};
+
+}  // namespace dcqcn

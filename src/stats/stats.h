@@ -1,0 +1,59 @@
+// Descriptive statistics used by tests, examples and the benchmark harness:
+// percentiles, CDFs, summaries, Jain's fairness index.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dcqcn {
+
+// p in [0, 1]; linear interpolation between order statistics. The paper's
+// "10th percentile" tail metric is Percentile(v, 0.10).
+double Percentile(std::vector<double> values, double p);
+
+struct Summary {
+  double min = 0, p10 = 0, p25 = 0, median = 0, p75 = 0, p90 = 0, max = 0;
+  double mean = 0;
+  size_t count = 0;
+};
+
+Summary Summarize(const std::vector<double>& values);
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 = perfectly fair.
+double JainIndex(const std::vector<double>& values);
+
+// Empirical CDF container.
+class Cdf {
+ public:
+  void Add(double v) { values_.push_back(v); }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  // Value at quantile p in [0,1].
+  double Quantile(double p) const;
+  // Fraction of samples <= v.
+  double FractionBelow(double v) const;
+  // `n` evenly spaced (quantile, value) points for printing.
+  std::vector<std::pair<double, double>> Points(int n) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void Sort() const;
+};
+
+// Time series of (time, value) samples.
+struct TimeSeries {
+  std::vector<std::pair<Time, double>> points;
+
+  void Add(Time t, double v) { points.emplace_back(t, v); }
+  // Mean of values with t in [from, to).
+  double MeanOver(Time from, Time to) const;
+  double MaxOver(Time from, Time to) const;
+};
+
+// Fixed-width table printing for bench output.
+std::string FormatGbps(double gbps);
+
+}  // namespace dcqcn

@@ -1,0 +1,68 @@
+#include "trace/arrivals.h"
+
+namespace dcqcn {
+
+PoissonArrivals::PoissonArrivals(Network& net, std::vector<RdmaNic*> hosts,
+                                 const PoissonArrivalOptions& opts)
+    : net_(net),
+      hosts_(std::move(hosts)),
+      opts_(opts),
+      rng_(opts.seed),
+      sizes_(EmpiricalSizeCdf::StorageBackendScaled(opts.size_scale)) {
+  DCQCN_CHECK(hosts_.size() >= 2);
+  DCQCN_CHECK(opts_.offered_load > 0);
+  const double mean_bytes = static_cast<double>(sizes_.MeanApprox());
+  const double flows_per_sec =
+      opts_.offered_load / 8.0 / mean_bytes;  // bytes/s over bytes/flow
+  mean_gap_ = static_cast<Time>(1e12 / flows_per_sec);
+  DCQCN_CHECK(mean_gap_ > 0);
+
+  for (RdmaNic* h : hosts_) {
+    h->AddCompletionCallback([this](const FlowRecord& rec) {
+      auto it = ours_.find(rec.spec.flow_id);
+      if (it == ours_.end()) return;
+      ours_.erase(it);
+      ++completed_;
+      --in_flight_;
+      goodput_.Add(rec.goodput() / 1e9);
+      fct_us_.Add(ToMicroseconds(rec.fct()));
+    });
+  }
+}
+
+void PoissonArrivals::Begin() { ScheduleNext(); }
+
+void PoissonArrivals::ScheduleNext() {
+  const Time gap = static_cast<Time>(
+      rng_.Exponential(static_cast<double>(mean_gap_)));
+  net_.eq().ScheduleIn(gap, [this] {
+    LaunchOne();
+    ScheduleNext();
+  });
+}
+
+void PoissonArrivals::LaunchOne() {
+  if (opts_.max_in_flight > 0 && in_flight_ >= opts_.max_in_flight) {
+    ++skipped_;
+    return;
+  }
+  const auto n = static_cast<int64_t>(hosts_.size());
+  const auto s = static_cast<size_t>(rng_.UniformInt(0, n - 1));
+  size_t d = s;
+  while (d == s) d = static_cast<size_t>(rng_.UniformInt(0, n - 1));
+
+  FlowSpec f;
+  f.flow_id = net_.NextFlowId();
+  f.src_host = hosts_[s]->id();
+  f.dst_host = hosts_[d]->id();
+  f.size_bytes = sizes_.Sample(rng_);
+  f.start_time = net_.eq().Now();
+  f.mode = opts_.mode;
+  f.ecmp_salt = rng_.NextU64();
+  ours_.insert(f.flow_id);
+  ++started_;
+  ++in_flight_;
+  net_.StartFlow(f);
+}
+
+}  // namespace dcqcn

@@ -1,0 +1,70 @@
+// Open-loop Poisson flow arrivals.
+//
+// The §6.2 benchmark uses closed-loop pairs (the paper's testbed driver);
+// most datacenter-transport studies also evaluate open-loop Poisson traffic
+// at a target offered load. This driver samples exponential inter-arrival
+// times, picks random (src, dst) host pairs, draws sizes from a flow-size
+// distribution, and records per-flow completion statistics — useful for
+// load-sweep experiments and as a realistic background-traffic source.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.h"
+#include "stats/stats.h"
+#include "trace/distributions.h"
+
+namespace dcqcn {
+
+struct PoissonArrivalOptions {
+  // Offered load in bits/s across the whole host set. The arrival rate is
+  // load / mean_flow_size.
+  Rate offered_load = Gbps(40);
+  TransportMode mode = TransportMode::kRdmaDcqcn;
+  double size_scale = 1.0;
+  uint64_t seed = 1;
+  // Optional cap on concurrently active generated flows (0 = unlimited);
+  // protects against overload collapse in long overloaded runs.
+  int max_in_flight = 0;
+};
+
+class PoissonArrivals {
+ public:
+  PoissonArrivals(Network& net, std::vector<RdmaNic*> hosts,
+                  const PoissonArrivalOptions& opts);
+
+  // Starts the arrival process at the current simulation time.
+  void Begin();
+
+  int64_t started() const { return started_; }
+  int64_t completed() const { return completed_; }
+  int64_t skipped_in_flight_cap() const { return skipped_; }
+  // Per-flow goodput (Gbps) and flow completion time (us).
+  const Cdf& goodput() const { return goodput_; }
+  const Cdf& fct_us() const { return fct_us_; }
+  // Mean inter-arrival time implied by the configuration.
+  Time mean_interarrival() const { return mean_gap_; }
+
+ private:
+  void ScheduleNext();
+  void LaunchOne();
+
+  Network& net_;
+  std::vector<RdmaNic*> hosts_;
+  PoissonArrivalOptions opts_;
+  Rng rng_;
+  EmpiricalSizeCdf sizes_;
+  Time mean_gap_ = 0;
+
+  int64_t started_ = 0;
+  int64_t completed_ = 0;
+  int64_t skipped_ = 0;
+  int in_flight_ = 0;
+  std::unordered_set<int> ours_;  // flow ids launched by this driver
+  Cdf goodput_;
+  Cdf fct_us_;
+};
+
+}  // namespace dcqcn

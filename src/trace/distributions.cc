@@ -1,0 +1,77 @@
+#include "trace/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dcqcn {
+
+EmpiricalSizeCdf::EmpiricalSizeCdf(
+    std::vector<std::pair<double, Bytes>> knots)
+    : knots_(std::move(knots)) {
+  DCQCN_CHECK(knots_.size() >= 2);
+  DCQCN_CHECK(knots_.front().first >= 0.0);
+  DCQCN_CHECK(std::abs(knots_.back().first - 1.0) < 1e-12);
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    DCQCN_CHECK(knots_[i].first > knots_[i - 1].first);
+    DCQCN_CHECK(knots_[i].second > knots_[i - 1].second);
+  }
+  DCQCN_CHECK(knots_.front().second >= 1);
+}
+
+Bytes EmpiricalSizeCdf::Sample(Rng& rng) const {
+  const double u = rng.Uniform();
+  if (u <= knots_.front().first) return knots_.front().second;
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    if (u <= knots_[i].first) {
+      const double p0 = knots_[i - 1].first;
+      const double p1 = knots_[i].first;
+      const double frac = (u - p0) / (p1 - p0);
+      const double lg0 = std::log(static_cast<double>(knots_[i - 1].second));
+      const double lg1 = std::log(static_cast<double>(knots_[i].second));
+      return static_cast<Bytes>(std::exp(lg0 + frac * (lg1 - lg0)));
+    }
+  }
+  return knots_.back().second;
+}
+
+Bytes EmpiricalSizeCdf::MeanApprox(int samples, uint64_t seed) const {
+  Rng rng(seed);
+  double sum = 0;
+  for (int i = 0; i < samples; ++i) {
+    sum += static_cast<double>(Sample(rng));
+  }
+  return static_cast<Bytes>(sum / samples);
+}
+
+EmpiricalSizeCdf EmpiricalSizeCdf::StorageBackend() {
+  return EmpiricalSizeCdf({
+      {0.10, 2 * kKB},
+      {0.30, 8 * kKB},
+      {0.50, 32 * kKB},
+      {0.70, 128 * kKB},
+      {0.90, 1000 * kKB},
+      {0.98, 2000 * kKB},
+      {1.00, 4000 * kKB},
+  });
+}
+
+EmpiricalSizeCdf EmpiricalSizeCdf::StorageBackendScaled(double factor) {
+  DCQCN_CHECK(factor > 0);
+  std::vector<std::pair<double, Bytes>> knots = {
+      {0.10, 2 * kKB},   {0.30, 8 * kKB},    {0.50, 32 * kKB},
+      {0.70, 128 * kKB}, {0.90, 1000 * kKB}, {0.98, 2000 * kKB},
+      {1.00, 4000 * kKB},
+  };
+  Bytes prev = 0;
+  for (auto& [p, b] : knots) {
+    b = std::max<Bytes>(
+        {1 * kKB, prev + 1,
+         static_cast<Bytes>(static_cast<double>(b) * factor)});
+    prev = b;
+  }
+  return EmpiricalSizeCdf(std::move(knots));
+}
+
+}  // namespace dcqcn

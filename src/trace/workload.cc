@@ -1,0 +1,111 @@
+#include "trace/workload.h"
+
+#include <algorithm>
+
+namespace dcqcn {
+
+BenchmarkTraffic::BenchmarkTraffic(Network& net, std::vector<RdmaNic*> hosts,
+                                   const BenchmarkTrafficOptions& opts)
+    : net_(net),
+      hosts_(std::move(hosts)),
+      opts_(opts),
+      rng_(opts.seed),
+      sizes_(EmpiricalSizeCdf::StorageBackendScaled(opts.size_scale)) {
+  DCQCN_CHECK(hosts_.size() >= 2);
+  DCQCN_CHECK(opts_.num_pairs >= 0);
+  DCQCN_CHECK(opts_.incast_degree == 0 ||
+              static_cast<size_t>(opts_.incast_degree) < hosts_.size());
+
+  // Every host dispatches its completions through this workload object.
+  for (RdmaNic* h : hosts_) {
+    h->AddCompletionCallback([this](const FlowRecord& r) { Dispatch(r); });
+  }
+
+  // User pairs: random distinct endpoints ("each host communicates with one
+  // or more randomly selected hosts").
+  const auto n = static_cast<int64_t>(hosts_.size());
+  for (int i = 0; i < opts_.num_pairs; ++i) {
+    const auto s = static_cast<size_t>(rng_.UniformInt(0, n - 1));
+    size_t d = s;
+    while (d == s) d = static_cast<size_t>(rng_.UniformInt(0, n - 1));
+    pairs_.push_back(Pair{hosts_[s], hosts_[d]});
+  }
+
+  // Incast group: one receiver, `incast_degree` distinct other senders.
+  if (opts_.incast_degree > 0) {
+    const auto r = static_cast<size_t>(rng_.UniformInt(0, n - 1));
+    incast_receiver_ = hosts_[r];
+    std::vector<RdmaNic*> others;
+    for (size_t i = 0; i < hosts_.size(); ++i) {
+      if (i != r) others.push_back(hosts_[i]);
+    }
+    std::shuffle(others.begin(), others.end(), rng_.engine());
+    incast_senders_.assign(
+        others.begin(),
+        others.begin() + static_cast<long>(opts_.incast_degree));
+  }
+}
+
+void BenchmarkTraffic::Begin() {
+  // Persistent connections: each pair / incast sender opens one QP and
+  // issues consecutive transfers on it, keeping the NIC rate-limiter state
+  // warm across messages (RoCE semantics).
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    Pair& pr = pairs_[i];
+    FlowSpec f;
+    f.flow_id = net_.NextFlowId();
+    f.src_host = pr.src->id();
+    f.dst_host = pr.dst->id();
+    f.size_bytes = sizes_.Sample(rng_);
+    f.start_time = net_.eq().Now();
+    f.mode = opts_.mode;
+    f.ecmp_salt = rng_.NextU64();
+    flow_ctx_[f.flow_id] = FlowCtx{/*incast=*/false, i};
+    pr.qp = net_.StartFlow(f);
+  }
+  if (incast_receiver_ != nullptr) {
+    for (size_t i = 0; i < incast_senders_.size(); ++i) StartIncastChunk(i);
+  }
+}
+
+void BenchmarkTraffic::StartIncastChunk(size_t sender_idx) {
+  FlowSpec f;
+  f.flow_id = net_.NextFlowId();
+  f.src_host = incast_senders_[sender_idx]->id();
+  f.dst_host = incast_receiver_->id();
+  f.size_bytes = opts_.incast_flow_bytes;
+  f.start_time = net_.eq().Now();
+  f.mode = opts_.mode;
+  f.ecmp_salt = rng_.NextU64();
+  flow_ctx_[f.flow_id] = FlowCtx{/*incast=*/true, sender_idx};
+  net_.StartFlow(f);
+}
+
+void BenchmarkTraffic::StartUserTransfer(size_t pair_idx) {
+  pairs_[pair_idx].qp->EnqueueMessage(sizes_.Sample(rng_));
+}
+
+void BenchmarkTraffic::Dispatch(const FlowRecord& rec) {
+  auto it = flow_ctx_.find(rec.spec.flow_id);
+  if (it == flow_ctx_.end()) return;  // not ours
+  const FlowCtx ctx = it->second;
+
+  const double gbps = rec.goodput() / 1e9;
+  if (ctx.incast) {
+    ++incast_transfers_;
+    incast_goodput_.Add(gbps);
+    flow_ctx_.erase(rec.spec.flow_id);
+    // The next chunk is a fresh RDMA operation: new QP, line-rate start.
+    StartIncastChunk(ctx.idx);
+  } else {
+    ++user_transfers_;
+    user_goodput_.Add(gbps);
+    const size_t pair_idx = ctx.idx;
+    const Time think = static_cast<Time>(rng_.Exponential(
+        static_cast<double>(opts_.pair_think_time)));
+    net_.eq().ScheduleIn(think,
+                         [this, pair_idx] { StartUserTransfer(pair_idx); });
+  }
+}
+
+}  // namespace dcqcn

@@ -1,0 +1,101 @@
+// The §6.2 benchmark-traffic generator.
+//
+// Models the backend network of a cloud storage service:
+//
+//   * User traffic — `num_pairs` randomly selected (src, dst) host pairs,
+//     each running a closed loop: draw a transfer size from the flow-size
+//     distribution, transfer, record the achieved goodput, repeat. Each
+//     transfer draws a fresh ECMP salt (new connection -> new path hash).
+//   * Disk-rebuild traffic — a single incast group: `incast_degree` senders
+//     each push consecutive `incast_flow_bytes` chunks to one randomly
+//     chosen receiver (a failed disk is repaired by fetching erasure-coded
+//     chunks from several servers [16]). Every source runs its own closed
+//     loop so the incast pressure is continuous, and each chunk is a fresh
+//     RDMA operation on a new QP — it starts at line rate ("hyper-fast
+//     start"), which is exactly why the paper insists DCQCN needs PFC
+//     underneath it (Fig. 18).
+//
+// The metrics mirror Figs. 15-17: per-transfer goodput CDFs for user and
+// incast traffic, plus PAUSE totals read off the switches by the caller.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "stats/stats.h"
+#include "trace/distributions.h"
+
+namespace dcqcn {
+
+struct BenchmarkTrafficOptions {
+  int num_pairs = 20;
+  int incast_degree = 0;  // 0 disables the disk-rebuild group
+  // Per-sender bytes per rebuild round. Must be a few MB so an incast round
+  // actually pressures the 12 MB shared buffer (smaller rounds are absorbed
+  // without ever tripping PFC).
+  Bytes incast_flow_bytes = 4000 * kKB;
+  TransportMode mode = TransportMode::kRdmaDcqcn;
+  // Transfer-size scale; < 1 shrinks the distribution so very short runs
+  // complete many transfers (see DESIGN.md "Scaling note").
+  double size_scale = 1.0;
+  // Mean think time between a pair's transfers (drawn exponentially). User
+  // traffic is request/response-like, not a saturating stream: the paper
+  // scales *offered load* by the pair count ("16x more user traffic"),
+  // which only makes sense if a single pair is far from saturating.
+  Time pair_think_time = Milliseconds(1);
+  uint64_t seed = 1;
+};
+
+class BenchmarkTraffic {
+ public:
+  // `hosts` is the candidate host set (e.g. all Clos hosts). Endpoints are
+  // drawn with the option seed, independent of the network-wide RNG.
+  BenchmarkTraffic(Network& net, std::vector<RdmaNic*> hosts,
+                   const BenchmarkTrafficOptions& opts);
+
+  // Launches all drivers at the current simulation time.
+  void Begin();
+
+  // Per-transfer goodput in Gbps.
+  const Cdf& user_goodput() const { return user_goodput_; }
+  const Cdf& incast_goodput() const { return incast_goodput_; }
+  int64_t user_transfers() const { return user_transfers_; }
+  int64_t incast_transfers() const { return incast_transfers_; }
+
+ private:
+  struct Pair {
+    RdmaNic* src;
+    RdmaNic* dst;
+    SenderQp* qp = nullptr;  // persistent connection; transfers reuse it
+  };
+
+  void StartUserTransfer(size_t pair_idx);
+  void StartIncastChunk(size_t sender_idx);
+  void Dispatch(const FlowRecord& rec);
+
+  Network& net_;
+  std::vector<RdmaNic*> hosts_;
+  BenchmarkTrafficOptions opts_;
+  Rng rng_;
+  EmpiricalSizeCdf sizes_;
+
+  std::vector<Pair> pairs_;
+  RdmaNic* incast_receiver_ = nullptr;
+  std::vector<RdmaNic*> incast_senders_;
+
+  // flow id -> (is_incast, pair index / incast qp index)
+  struct FlowCtx {
+    bool incast = false;
+    size_t idx = 0;
+  };
+  std::unordered_map<int, FlowCtx> flow_ctx_;
+
+  Cdf user_goodput_;
+  Cdf incast_goodput_;
+  int64_t user_transfers_ = 0;
+  int64_t incast_transfers_ = 0;
+};
+
+}  // namespace dcqcn

@@ -1,0 +1,124 @@
+// Open-loop Poisson arrival driver tests.
+#include "trace/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/topology.h"
+#include "trace/workload.h"
+
+namespace dcqcn {
+namespace {
+
+std::vector<RdmaNic*> AllHosts(const ClosTopology& t) {
+  std::vector<RdmaNic*> hosts;
+  for (const auto& per_tor : t.hosts_by_tor) {
+    hosts.insert(hosts.end(), per_tor.begin(), per_tor.end());
+  }
+  return hosts;
+}
+
+TEST(PoissonArrivals, RateMatchesOfferedLoad) {
+  Network net(1);
+  auto topo = BuildClos(net, 5, TopologyOptions{});
+  PoissonArrivalOptions opt;
+  opt.offered_load = Gbps(40);
+  opt.size_scale = 0.1;  // small flows so many complete
+  PoissonArrivals gen(net, AllHosts(topo), opt);
+  gen.Begin();
+  const Time dur = Milliseconds(20);
+  net.RunFor(dur);
+  // Expected arrivals = duration / mean gap; Poisson std is sqrt(n).
+  const double expected =
+      static_cast<double>(dur) / static_cast<double>(gen.mean_interarrival());
+  EXPECT_NEAR(static_cast<double>(gen.started()), expected,
+              4 * std::sqrt(expected) + 2);
+}
+
+TEST(PoissonArrivals, FlowsCompleteAtModerateLoad) {
+  Network net(2);
+  auto topo = BuildClos(net, 5, TopologyOptions{});
+  PoissonArrivalOptions opt;
+  opt.offered_load = Gbps(20);  // light for a 20-host fabric
+  opt.size_scale = 0.1;
+  PoissonArrivals gen(net, AllHosts(topo), opt);
+  gen.Begin();
+  net.RunFor(Milliseconds(30));
+  EXPECT_GT(gen.completed(), 0);
+  // At light load nearly everything started early has finished.
+  EXPECT_GT(static_cast<double>(gen.completed()),
+            0.7 * static_cast<double>(gen.started()));
+  EXPECT_GT(gen.goodput().Quantile(0.5), 0.0);
+  EXPECT_GT(gen.fct_us().Quantile(0.5), 0.0);
+}
+
+TEST(PoissonArrivals, HigherLoadMoreArrivals) {
+  auto count = [](Rate load) {
+    Network net(3);
+    auto topo = BuildClos(net, 5, TopologyOptions{});
+    PoissonArrivalOptions opt;
+    opt.offered_load = load;
+    opt.size_scale = 0.1;
+    PoissonArrivals gen(net, AllHosts(topo), opt);
+    gen.Begin();
+    net.RunFor(Milliseconds(10));
+    return gen.started();
+  };
+  EXPECT_GT(count(Gbps(80)), 2 * count(Gbps(20)));
+}
+
+TEST(PoissonArrivals, InFlightCapLimitsBacklog) {
+  Network net(4);
+  auto topo = BuildClos(net, 5, TopologyOptions{});
+  PoissonArrivalOptions opt;
+  opt.offered_load = Gbps(400);  // heavy overload
+  opt.size_scale = 1.0;
+  opt.max_in_flight = 10;
+  PoissonArrivals gen(net, AllHosts(topo), opt);
+  gen.Begin();
+  net.RunFor(Milliseconds(10));
+  EXPECT_GT(gen.skipped_in_flight_cap(), 0);
+  EXPECT_LE(gen.started() - gen.completed(), 10);
+}
+
+TEST(PoissonArrivals, DeterministicWithSeed) {
+  auto run = [] {
+    Network net(5);
+    auto topo = BuildClos(net, 5, TopologyOptions{});
+    PoissonArrivalOptions opt;
+    opt.offered_load = Gbps(40);
+    opt.size_scale = 0.1;
+    opt.seed = 99;
+    PoissonArrivals gen(net, AllHosts(topo), opt);
+    gen.Begin();
+    net.RunFor(Milliseconds(10));
+    return std::make_pair(gen.started(), gen.completed());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(PoissonArrivals, CoexistsWithBenchmarkTraffic) {
+  // Poisson background + the §6.2 closed-loop benchmark on the same hosts:
+  // the completion dispatchers must not steal each other's flows.
+  Network net(6);
+  auto topo = BuildClos(net, 5, TopologyOptions{});
+  auto hosts = AllHosts(topo);
+  BenchmarkTrafficOptions bopt;
+  bopt.num_pairs = 4;
+  bopt.incast_degree = 0;
+  bopt.size_scale = 0.1;
+  BenchmarkTraffic bench(net, hosts, bopt);
+  PoissonArrivalOptions popt;
+  popt.offered_load = Gbps(10);
+  popt.size_scale = 0.1;
+  PoissonArrivals gen(net, hosts, popt);
+  bench.Begin();
+  gen.Begin();
+  net.RunFor(Milliseconds(20));
+  EXPECT_GT(bench.user_transfers(), 0);
+  EXPECT_GT(gen.completed(), 0);
+}
+
+}  // namespace
+}  // namespace dcqcn

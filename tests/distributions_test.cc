@@ -1,0 +1,79 @@
+#include "trace/distributions.h"
+
+#include <gtest/gtest.h>
+
+namespace dcqcn {
+namespace {
+
+TEST(EmpiricalSizeCdf, SamplesWithinRange) {
+  auto cdf = EmpiricalSizeCdf::StorageBackend();
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const Bytes b = cdf.Sample(rng);
+    EXPECT_GE(b, 1);
+    EXPECT_LE(b, 4000 * kKB);
+  }
+}
+
+TEST(EmpiricalSizeCdf, QuantilesMatchKnots) {
+  auto cdf = EmpiricalSizeCdf::StorageBackend();
+  Rng rng(2);
+  std::vector<Bytes> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(cdf.Sample(rng));
+  std::sort(samples.begin(), samples.end());
+  // Median near 32 KB (within the interpolated decade).
+  const Bytes median = samples[samples.size() / 2];
+  EXPECT_GT(median, 16 * kKB);
+  EXPECT_LT(median, 64 * kKB);
+  // 90th percentile near 1 MB.
+  const Bytes p90 = samples[samples.size() * 9 / 10];
+  EXPECT_GT(p90, 500 * kKB);
+  EXPECT_LT(p90, 1500 * kKB);
+}
+
+TEST(EmpiricalSizeCdf, HeavyTailCarriesBytes) {
+  // The top 10% of transfers should carry the majority of bytes.
+  auto cdf = EmpiricalSizeCdf::StorageBackend();
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) {
+    samples.push_back(static_cast<double>(cdf.Sample(rng)));
+  }
+  std::sort(samples.begin(), samples.end());
+  double total = 0, tail = 0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    total += samples[i];
+    if (i >= samples.size() * 9 / 10) tail += samples[i];
+  }
+  EXPECT_GT(tail / total, 0.5);
+}
+
+TEST(EmpiricalSizeCdf, ScaledKeepsShape) {
+  auto big = EmpiricalSizeCdf::StorageBackend();
+  auto small = EmpiricalSizeCdf::StorageBackendScaled(0.1);
+  EXPECT_NEAR(static_cast<double>(small.MeanApprox()) /
+                  static_cast<double>(big.MeanApprox()),
+              0.1, 0.03);
+}
+
+TEST(EmpiricalSizeCdf, TinyScaleStillStrictlyIncreasing) {
+  // The 1 KB floor must not produce duplicate knots (ctor CHECKs).
+  auto cdf = EmpiricalSizeCdf::StorageBackendScaled(1e-4);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_GE(cdf.Sample(rng), 1 * kKB);
+}
+
+TEST(EmpiricalSizeCdf, Deterministic) {
+  auto cdf = EmpiricalSizeCdf::StorageBackend();
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(cdf.Sample(a), cdf.Sample(b));
+}
+
+TEST(EmpiricalSizeCdf, RejectsBadKnots) {
+  EXPECT_DEATH(EmpiricalSizeCdf({{0.5, 1000}}), "");
+  EXPECT_DEATH(EmpiricalSizeCdf({{0.5, 1000}, {0.4, 2000}}), "");
+  EXPECT_DEATH(EmpiricalSizeCdf({{0.5, 1000}, {1.0, 500}}), "");
+}
+
+}  // namespace
+}  // namespace dcqcn

@@ -1,0 +1,146 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dcqcn {
+namespace {
+
+TEST(EventQueue, StartsAtZeroAndEmpty) {
+  EventQueue eq;
+  EXPECT_EQ(eq.Now(), 0);
+  EXPECT_TRUE(eq.Empty());
+  EXPECT_FALSE(eq.RunOne());
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.ScheduleAt(Nanoseconds(30), [&] { order.push_back(3); });
+  eq.ScheduleAt(Nanoseconds(10), [&] { order.push_back(1); });
+  eq.ScheduleAt(Nanoseconds(20), [&] { order.push_back(2); });
+  eq.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.Now(), Nanoseconds(30));
+}
+
+TEST(EventQueue, TiesBreakInScheduleOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eq.ScheduleAt(Nanoseconds(5), [&order, i] { order.push_back(i); });
+  }
+  eq.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue eq;
+  Time fired_at = -1;
+  eq.ScheduleAt(Nanoseconds(100), [&] {
+    eq.ScheduleIn(Nanoseconds(50), [&] { fired_at = eq.Now(); });
+  });
+  eq.RunAll();
+  EXPECT_EQ(fired_at, Nanoseconds(150));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue eq;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 100) eq.ScheduleIn(Nanoseconds(1), chain);
+  };
+  eq.ScheduleIn(0, chain);
+  eq.RunAll();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(eq.Now(), Nanoseconds(99));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue eq;
+  bool ran = false;
+  EventHandle h = eq.ScheduleAt(Nanoseconds(10), [&] { ran = true; });
+  EXPECT_TRUE(eq.Cancel(h));
+  eq.RunAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue eq;
+  EventHandle h = eq.ScheduleAt(Nanoseconds(10), [] {});
+  EXPECT_TRUE(eq.Cancel(h));
+  EXPECT_FALSE(eq.Cancel(h));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue eq;
+  EventHandle h = eq.ScheduleAt(Nanoseconds(10), [] {});
+  eq.RunAll();
+  EXPECT_FALSE(eq.Cancel(h));
+}
+
+TEST(EventQueue, CancelDefaultHandleReturnsFalse) {
+  EventQueue eq;
+  EXPECT_FALSE(eq.Cancel(EventHandle{}));
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue eq;
+  int ran = 0;
+  eq.ScheduleAt(Nanoseconds(10), [&] { ++ran; });
+  eq.ScheduleAt(Nanoseconds(20), [&] { ++ran; });
+  eq.ScheduleAt(Nanoseconds(30), [&] { ++ran; });
+  EXPECT_EQ(eq.RunUntil(Nanoseconds(20)), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(eq.Now(), Nanoseconds(20));
+  // Remaining event still pending.
+  EXPECT_EQ(eq.PendingEvents(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenDrained) {
+  EventQueue eq;
+  eq.RunUntil(Microseconds(5));
+  EXPECT_EQ(eq.Now(), Microseconds(5));
+}
+
+TEST(EventQueue, PendingEventsTracksCancellations) {
+  EventQueue eq;
+  EventHandle a = eq.ScheduleAt(1, [] {});
+  eq.ScheduleAt(2, [] {});
+  EXPECT_EQ(eq.PendingEvents(), 2u);
+  eq.Cancel(a);
+  EXPECT_EQ(eq.PendingEvents(), 1u);
+  EXPECT_FALSE(eq.Empty());
+  eq.RunAll();
+  EXPECT_TRUE(eq.Empty());
+}
+
+TEST(EventQueue, CancelledHeadDoesNotBlockLaterEvents) {
+  EventQueue eq;
+  bool ran = false;
+  EventHandle a = eq.ScheduleAt(1, [] { FAIL() << "cancelled event ran"; });
+  eq.ScheduleAt(2, [&] { ran = true; });
+  eq.Cancel(a);
+  EXPECT_TRUE(eq.RunOne());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(eq.Now(), 2);
+}
+
+TEST(EventQueue, ClockMonotoneAcrossManyRandomEvents) {
+  EventQueue eq;
+  Time last = -1;
+  uint64_t seed = 12345;
+  for (int i = 0; i < 1000; ++i) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    eq.ScheduleAt(static_cast<Time>(seed % 100000), [&] {
+      EXPECT_GE(eq.Now(), last);
+      last = eq.Now();
+    });
+  }
+  EXPECT_EQ(eq.RunAll(), 1000u);
+}
+
+}  // namespace
+}  // namespace dcqcn

@@ -1,0 +1,188 @@
+// Fluid model tests (§5): fixed point, convergence, parameter effects.
+#include "fluid/fluid_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fluid/sweep.h"
+
+namespace dcqcn {
+namespace {
+
+FluidParams Deployment(int n) {
+  return FluidParams::FromDcqcn(DcqcnParams::Deployment(), Gbps(40), n);
+}
+
+FluidParams Strawman(int n) {
+  return FluidParams::FromDcqcn(DcqcnParams::Strawman(), Gbps(40), n);
+}
+
+TEST(FluidParams, ConversionFromProtocolParams) {
+  const FluidParams f = Deployment(2);
+  EXPECT_NEAR(f.capacity_pps, 5e6, 1);         // 40G / 1000B
+  EXPECT_NEAR(f.byte_counter_packets, 1e4, 1); // 10MB / 1KB
+  EXPECT_DOUBLE_EQ(f.g, 1.0 / 256.0);
+  EXPECT_NEAR(f.tau_prime, 50e-6, 1e-12);
+  EXPECT_NEAR(f.timer_seconds, 55e-6, 1e-12);
+  EXPECT_NEAR(f.rate_ai_pps, 5000, 1);         // 40Mbps / (8*1000)
+  EXPECT_EQ(f.kmin, 5 * kKB);
+  EXPECT_EQ(f.kmax, 200 * kKB);
+}
+
+TEST(FluidFixedPoint, MarkingProbabilityBelowOnePercent) {
+  // §5.1: "We verified that for reasonable settings, p is less than 1%."
+  for (int n : {2, 4, 8}) {
+    const FluidFixedPoint fp = SolveFixedPoint(Deployment(n));
+    EXPECT_GT(fp.p, 0.0) << n;
+    EXPECT_LT(fp.p, 0.01) << n;
+  }
+  // At 16:1 the required p creeps just past Pmax = 1% — the system operates
+  // at the RED discontinuity and the queue pegs at Kmax.
+  EXPECT_LT(SolveFixedPoint(Deployment(16)).p, 0.02);
+}
+
+TEST(FluidFixedPoint, MarkingProbabilityGrowsWithIncastDegree) {
+  double prev = 0;
+  for (int n : {2, 4, 8, 16}) {
+    const double p = SolveFixedPoint(Deployment(n)).p;
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(FluidFixedPoint, StableQueueOrderOfMagnitudeAboveKmin) {
+  // §5.2: "Fluid model predicts that the stable queue length is usually one
+  // order of magnitude larger than 5KB Kmin."
+  const FluidFixedPoint fp = SolveFixedPoint(Deployment(8));
+  EXPECT_GT(fp.queue_bytes, 2.0 * 5e3);
+  EXPECT_LT(fp.queue_bytes, 40.0 * 5e3);
+  // 16:1 saturates the marking curve: queue pegs at Kmax.
+  EXPECT_DOUBLE_EQ(SolveFixedPoint(Deployment(16)).queue_bytes, 200e3);
+}
+
+TEST(FluidFixedPoint, AlphaConsistentWithP) {
+  const FluidParams prm = Deployment(4);
+  const FluidFixedPoint fp = SolveFixedPoint(prm);
+  const double rc = prm.capacity_pps / 4;
+  const double expected_alpha =
+      -std::expm1(prm.tau_prime * rc * std::log1p(-fp.p));
+  EXPECT_NEAR(fp.alpha, expected_alpha, 1e-9);
+}
+
+TEST(FluidModel, SingleFlowHoldsNearCapacity) {
+  FluidParams p = Deployment(1);
+  FluidModel m(p);
+  m.StartFlow(0);
+  m.RunUntil(0.05);
+  EXPECT_NEAR(m.FlowRateGbps(0), 40.0, 4.0);
+}
+
+TEST(FluidModel, TwoFlowsConvergeToFairShareWithDeploymentParams) {
+  const ConvergenceResult r = TwoFlowConvergence(Deployment(2), 0.2, 0.1);
+  EXPECT_LT(r.mean_abs_diff_gbps, 4.0);
+  EXPECT_LT(r.final_abs_diff_gbps, 5.0);
+}
+
+TEST(FluidModel, StrawmanParametersDoNotConverge) {
+  // Fig. 11(a) innermost edge: "with these parameter values, the flows
+  // cannot converge."
+  const ConvergenceResult strawman = TwoFlowConvergence(Strawman(2), 0.2, 0.1);
+  const ConvergenceResult good = TwoFlowConvergence(Deployment(2), 0.2, 0.1);
+  EXPECT_GT(strawman.mean_abs_diff_gbps, 3.0 * good.mean_abs_diff_gbps);
+  EXPECT_GT(strawman.mean_abs_diff_gbps, 8.0);
+}
+
+TEST(FluidModel, TotalRateTracksCapacity) {
+  FluidParams p = Deployment(4);
+  FluidModel m(p);
+  for (int i = 0; i < 4; ++i) m.StartFlow(i);
+  m.RunUntil(0.1);
+  EXPECT_NEAR(m.TotalRatePps() / p.capacity_pps, 1.0, 0.1);
+}
+
+TEST(FluidModel, NFlowFairShare) {
+  FluidParams p = Deployment(8);
+  FluidModel m(p);
+  for (int i = 0; i < 8; ++i) m.StartFlow(i);
+  m.RunUntil(0.15);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(m.FlowRateGbps(i), 5.0, 1.5) << "flow " << i;
+  }
+}
+
+TEST(FluidModel, StaggeredStartJoinsFairly) {
+  FluidParams p = Deployment(2);
+  FluidModel m(p);
+  m.StartFlow(0);
+  m.StartFlowAt(1, 0.01);
+  m.RunUntil(0.005);
+  EXPECT_FALSE(m.flow(1).active);
+  EXPECT_GT(m.FlowRateGbps(0), 30.0);
+  m.RunUntil(0.15);
+  EXPECT_TRUE(m.flow(1).active);
+  EXPECT_NEAR(m.FlowRateGbps(0), m.FlowRateGbps(1), 6.0);
+}
+
+TEST(FluidModel, QueueSettlesNearFixedPoint) {
+  FluidParams p = Deployment(2);
+  FluidModel m(p);
+  m.StartFlow(0);
+  m.StartFlow(1);
+  m.RunUntil(0.3);
+  const FluidFixedPoint fp = SolveFixedPoint(p);
+  EXPECT_NEAR(m.queue_bytes(), fp.queue_bytes, fp.queue_bytes * 0.75);
+}
+
+TEST(FluidModel, SmallerGGivesLowerAndStablerQueue) {
+  // Fig. 12: "smaller g leads to lower queue length and lower variation."
+  // Compare settled-tail oscillation amplitude for 2:1 incast.
+  auto tail_stats = [](const TimeSeries& q) {
+    double mean = q.MeanOver(Milliseconds(50), Milliseconds(100));
+    double var = 0;
+    int n = 0;
+    for (const auto& [t, v] : q.points) {
+      if (t >= Milliseconds(50)) {
+        var += (v - mean) * (v - mean);
+        ++n;
+      }
+    }
+    return std::make_pair(mean, std::sqrt(var / n));
+  };
+  FluidParams hi_g = Deployment(2);
+  hi_g.g = 1.0 / 16.0;
+  FluidParams lo_g = Deployment(2);
+  lo_g.g = 1.0 / 256.0;
+  const auto [mean_hi, std_hi] = tail_stats(IncastQueueSeries(hi_g, 2, 0.1));
+  const auto [mean_lo, std_lo] = tail_stats(IncastQueueSeries(lo_g, 2, 0.1));
+  EXPECT_LT(std_lo, std_hi / 3.0);   // far lower oscillation
+  EXPECT_LE(mean_lo, mean_hi * 1.05);  // and no higher a level
+}
+
+TEST(FluidModel, QueueNeverNegative) {
+  FluidParams p = Deployment(2);
+  FluidModel m(p);
+  m.StartFlow(0, p.line_rate_pps / 100);  // far below capacity
+  for (int i = 0; i < 2000; ++i) {
+    m.Step();
+    EXPECT_GE(m.queue_bytes(), 0.0);
+  }
+}
+
+TEST(FluidModel, RatesStayWithinBounds) {
+  FluidParams p = Deployment(16);
+  FluidModel m(p);
+  for (int i = 0; i < 16; ++i) m.StartFlow(i);
+  for (int i = 0; i < 50000; ++i) {
+    m.Step();
+    for (int f = 0; f < 16; ++f) {
+      EXPECT_LE(m.flow(f).rc, p.line_rate_pps * (1 + 1e-9));
+      EXPECT_GE(m.flow(f).rc, p.min_rate_pps * (1 - 1e-9));
+      EXPECT_GE(m.flow(f).alpha, 0.0);
+      EXPECT_LE(m.flow(f).alpha, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcqcn

@@ -1,0 +1,143 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dcqcn {
+namespace {
+
+// Minimal Node that records arrivals and transmit-complete callbacks.
+class SinkNode : public Node {
+ public:
+  SinkNode(EventQueue* eq, int id) : Node(id, 1), eq_(eq) {}
+
+  void ReceivePacket(const Packet& p, int in_port) override {
+    arrivals.push_back({eq_->Now(), p, in_port});
+  }
+  void OnTransmitComplete(int port) override {
+    tx_complete.push_back({eq_->Now(), port});
+  }
+
+  struct Arrival {
+    Time at;
+    Packet pkt;
+    int port;
+  };
+  std::vector<Arrival> arrivals;
+  std::vector<std::pair<Time, int>> tx_complete;
+
+ private:
+  EventQueue* eq_;
+};
+
+Packet DataPacket(Bytes size) {
+  Packet p;
+  p.size_bytes = size;
+  return p;
+}
+
+TEST(Link, DeliversAfterSerializationPlusPropagation) {
+  EventQueue eq;
+  SinkNode a(&eq, 0), b(&eq, 1);
+  Link link(&eq, &a, 0, &b, 0, Gbps(40), Microseconds(1));
+  link.Transmit(&a, DataPacket(1000));  // 200 ns wire time
+  eq.RunAll();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].at, Nanoseconds(200) + Microseconds(1));
+  ASSERT_EQ(a.tx_complete.size(), 1u);
+  EXPECT_EQ(a.tx_complete[0].first, Nanoseconds(200));
+}
+
+TEST(Link, BusyDuringSerializationOnly) {
+  EventQueue eq;
+  SinkNode a(&eq, 0), b(&eq, 1);
+  Link link(&eq, &a, 0, &b, 0, Gbps(40), Microseconds(1));
+  EXPECT_FALSE(link.Busy(&a));
+  link.Transmit(&a, DataPacket(1000));
+  EXPECT_TRUE(link.Busy(&a));
+  eq.RunUntil(Nanoseconds(199));
+  EXPECT_TRUE(link.Busy(&a));
+  eq.RunUntil(Nanoseconds(200));
+  EXPECT_FALSE(link.Busy(&a));  // propagation does not occupy the sender
+}
+
+TEST(Link, DirectionsAreIndependent) {
+  EventQueue eq;
+  SinkNode a(&eq, 0), b(&eq, 1);
+  Link link(&eq, &a, 0, &b, 0, Gbps(40), Microseconds(1));
+  link.Transmit(&a, DataPacket(1000));
+  EXPECT_TRUE(link.Busy(&a));
+  EXPECT_FALSE(link.Busy(&b));
+  link.Transmit(&b, DataPacket(500));
+  EXPECT_TRUE(link.Busy(&b));
+  eq.RunAll();
+  EXPECT_EQ(a.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals.size(), 1u);
+}
+
+TEST(Link, PortsAndPeersWired) {
+  EventQueue eq;
+  SinkNode a(&eq, 0), b(&eq, 1);
+  Link link(&eq, &a, 0, &b, 0, Gbps(40), Microseconds(1));
+  EXPECT_EQ(a.link(0), &link);
+  EXPECT_EQ(b.link(0), &link);
+  EXPECT_EQ(link.Peer(&a), &b);
+  EXPECT_EQ(link.Peer(&b), &a);
+}
+
+TEST(Link, SmallControlFrameFaster) {
+  EventQueue eq;
+  SinkNode a(&eq, 0), b(&eq, 1);
+  Link link(&eq, &a, 0, &b, 0, Gbps(40), 0);
+  link.Transmit(&a, DataPacket(kControlFrameBytes));  // 64 B = 12.8 ns
+  eq.RunAll();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].at, Picoseconds(12800));
+}
+
+TEST(Link, TelemetryCountsFramesAndBytes) {
+  EventQueue eq;
+  SinkNode a(&eq, 0), b(&eq, 1);
+  Link link(&eq, &a, 0, &b, 0, Gbps(40), 0);
+  link.Transmit(&a, DataPacket(1000));
+  eq.RunAll();
+  link.Transmit(&a, DataPacket(500));
+  eq.RunAll();
+  EXPECT_EQ(link.FramesSent(&a), 2);
+  EXPECT_EQ(link.BytesSent(&a), 1500);
+  EXPECT_EQ(link.FramesSent(&b), 0);
+}
+
+TEST(Link, BackToBackAchievesLineRate) {
+  // A transmitter that refills on every completion keeps the wire 100% busy.
+  EventQueue eq;
+  SinkNode b(&eq, 1);
+
+  class Blaster : public Node {
+   public:
+    Blaster(EventQueue* eq, int id) : Node(id, 1), eq_(eq) {}
+    void ReceivePacket(const Packet&, int) override {}
+    void OnTransmitComplete(int) override {
+      if (sent_ < 1000) Send();
+    }
+    void Send() {
+      ++sent_;
+      Packet p;
+      p.size_bytes = 1000;
+      link(0)->Transmit(this, p);
+    }
+    int sent_ = 0;
+    EventQueue* eq_;
+  } a(&eq, 0);
+
+  Link link(&eq, &a, 0, &b, 0, Gbps(40), 0);
+  a.Send();
+  eq.RunAll();
+  // 1000 packets x 1000 B at 40 Gbps = exactly 200 us.
+  EXPECT_EQ(eq.Now(), Microseconds(200));
+  EXPECT_EQ(b.arrivals.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace dcqcn

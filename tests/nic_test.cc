@@ -1,0 +1,373 @@
+// End-to-end NIC / transport tests over small star networks.
+#include "nic/rdma_nic.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace dcqcn {
+namespace {
+
+TopologyOptions DefaultOpts() {
+  TopologyOptions opt;
+  opt.link_delay = Microseconds(1);
+  return opt;
+}
+
+FlowSpec Flow(Network& net, RdmaNic* src, RdmaNic* dst, Bytes size,
+              TransportMode mode, Time start = 0) {
+  FlowSpec f;
+  f.flow_id = net.NextFlowId();
+  f.src_host = src->id();
+  f.dst_host = dst->id();
+  f.size_bytes = size;
+  f.start_time = start;
+  f.mode = mode;
+  return f;
+}
+
+// Delivered bytes for a flow measured at the receiving NIC.
+Bytes Delivered(RdmaNic* dst, int flow_id) {
+  return dst->ReceiverDeliveredBytes(flow_id);
+}
+
+TEST(Nic, RawFlowCompletesAtNearLineRate) {
+  Network net(1);
+  auto t = BuildStar(net, 2, DefaultOpts());
+  FlowSpec f = Flow(net, t.hosts[0], t.hosts[1], 4 * 1000 * 1000,
+                    TransportMode::kRdmaRaw);
+  net.StartFlow(f);
+  net.RunFor(Milliseconds(5));
+  ASSERT_EQ(t.hosts[0]->completed_flows().size(), 1u);
+  const FlowRecord& rec = t.hosts[0]->completed_flows()[0];
+  EXPECT_EQ(Delivered(t.hosts[1], f.flow_id), f.size_bytes);
+  // Ideal: 4 MB at 40 Gbps = 800 us; allow 5% overhead (RTT + ACK wait).
+  EXPECT_LT(rec.fct(), Microseconds(840));
+  EXPECT_GT(rec.fct(), Microseconds(800));
+}
+
+TEST(Nic, DcqcnFlowAloneStaysAtLineRate) {
+  // "When a flow starts, it sends at full line rate" — and with no
+  // congestion there are no CNPs and no rate cuts.
+  Network net(1);
+  auto t = BuildStar(net, 2, DefaultOpts());
+  FlowSpec f = Flow(net, t.hosts[0], t.hosts[1], 4 * 1000 * 1000,
+                    TransportMode::kRdmaDcqcn);
+  net.StartFlow(f);
+  net.RunFor(Milliseconds(5));
+  ASSERT_EQ(t.hosts[0]->completed_flows().size(), 1u);
+  EXPECT_LT(t.hosts[0]->completed_flows()[0].fct(), Microseconds(840));
+  EXPECT_EQ(t.hosts[0]->FindQp(f.flow_id)->counters().cnps_received, 0);
+}
+
+TEST(Nic, MessageSmallerThanMtuCompletes) {
+  Network net(1);
+  auto t = BuildStar(net, 2, DefaultOpts());
+  FlowSpec f = Flow(net, t.hosts[0], t.hosts[1], 123,
+                    TransportMode::kRdmaRaw);
+  net.StartFlow(f);
+  net.RunFor(Milliseconds(1));
+  ASSERT_EQ(t.hosts[0]->completed_flows().size(), 1u);
+  EXPECT_EQ(Delivered(t.hosts[1], f.flow_id), 123);
+}
+
+TEST(Nic, ManySmallMessagesAllComplete) {
+  Network net(1);
+  auto t = BuildStar(net, 3, DefaultOpts());
+  for (int i = 0; i < 50; ++i) {
+    net.StartFlow(Flow(net, t.hosts[i % 2], t.hosts[2], 32 * 1000,
+                       TransportMode::kRdmaDcqcn, i * Microseconds(10)));
+  }
+  net.RunFor(Milliseconds(20));
+  EXPECT_EQ(t.hosts[0]->completed_flows().size() +
+                t.hosts[1]->completed_flows().size(),
+            50u);
+}
+
+TEST(Nic, TwoGreedyDcqcnFlowsShareFairly) {
+  Network net(7);
+  auto t = BuildStar(net, 3, DefaultOpts());
+  FlowSpec f1 = Flow(net, t.hosts[0], t.hosts[2], 0, TransportMode::kRdmaDcqcn);
+  FlowSpec f2 = Flow(net, t.hosts[1], t.hosts[2], 0, TransportMode::kRdmaDcqcn);
+  net.StartFlow(f1);
+  net.StartFlow(f2);
+  net.RunFor(Milliseconds(30));
+  const Bytes d1 = Delivered(t.hosts[2], f1.flow_id);
+  const Bytes d2 = Delivered(t.hosts[2], f2.flow_id);
+  net.RunFor(Milliseconds(20));
+  const double r1 =
+      static_cast<double>(Delivered(t.hosts[2], f1.flow_id) - d1);
+  const double r2 =
+      static_cast<double>(Delivered(t.hosts[2], f2.flow_id) - d2);
+  // Link fully used...
+  EXPECT_GT((r1 + r2) * 8 / 0.020, 0.9 * Gbps(40));
+  // ...and split close to evenly.
+  EXPECT_NEAR(r1 / (r1 + r2), 0.5, 0.1);
+}
+
+TEST(Nic, IncastWithPfcIsLossless) {
+  Network net(3);
+  auto t = BuildStar(net, 9, DefaultOpts());
+  for (int i = 0; i < 8; ++i) {
+    net.StartFlow(Flow(net, t.hosts[static_cast<size_t>(i)], t.hosts[8], 0,
+                       TransportMode::kRdmaRaw));
+  }
+  net.RunFor(Milliseconds(20));
+  EXPECT_EQ(net.TotalDrops(), 0);
+  EXPECT_GT(net.TotalPauseFramesSent(), 0);  // PFC had to act
+  // All flows together fill the bottleneck.
+  Bytes total = 0;
+  for (int i = 0; i < 8; ++i) total += Delivered(t.hosts[8], i);
+  EXPECT_GT(static_cast<double>(total) * 8 / 0.020, 0.9 * Gbps(40));
+  // No retransmissions in a lossless fabric.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(t.hosts[static_cast<size_t>(i)]
+                  ->FindQp(i)
+                  ->counters()
+                  .retransmitted_packets,
+              0);
+  }
+}
+
+TEST(Nic, IncastWithoutPfcDropsAndRecovers) {
+  TopologyOptions opt = DefaultOpts();
+  opt.switch_config.pfc_enabled = false;
+  opt.switch_config.buffer.total_buffer = 500 * kKB;  // small lossy buffer
+  opt.nic_config.go_back_zero = false;  // modern NIC: go-back-N
+  Network net(3);
+  auto t = BuildStar(net, 5, opt);
+  std::vector<FlowSpec> flows;
+  for (int i = 0; i < 4; ++i) {
+    FlowSpec f = Flow(net, t.hosts[static_cast<size_t>(i)], t.hosts[4],
+                      2 * 1000 * 1000, TransportMode::kRdmaRaw);
+    flows.push_back(f);
+    net.StartFlow(f);
+  }
+  net.RunFor(Milliseconds(200));
+  EXPECT_GT(net.TotalDrops(), 0);
+  // Go-back-N eventually delivers everything despite the losses.
+  for (const auto& f : flows) {
+    EXPECT_EQ(Delivered(t.hosts[4], f.flow_id), f.size_bytes)
+        << "flow " << f.flow_id;
+  }
+}
+
+TEST(Nic, GoBackZeroRestartsWholeMessageOnLoss) {
+  // ConnectX-3-style recovery: a loss restarts the in-progress message, so
+  // lossy fabrics are far more damaging than under go-back-N (the Fig. 18
+  // rationale for keeping PFC under DCQCN).
+  struct Result {
+    size_t completed;
+    int64_t retransmitted;
+  };
+  auto run = [](bool go_back_zero) {
+    TopologyOptions opt = DefaultOpts();
+    opt.switch_config.pfc_enabled = false;
+    opt.switch_config.buffer.total_buffer = 300 * kKB;
+    opt.nic_config.go_back_zero = go_back_zero;
+    Network net(3);
+    auto t = BuildStar(net, 3, opt);
+    // Two colliding senders so drops occur repeatedly.
+    FlowSpec a = Flow(net, t.hosts[0], t.hosts[2], 1000 * 1000,
+                      TransportMode::kRdmaRaw);
+    FlowSpec b = Flow(net, t.hosts[1], t.hosts[2], 1000 * 1000,
+                      TransportMode::kRdmaRaw);
+    net.StartFlow(a);
+    net.StartFlow(b);
+    net.RunFor(Milliseconds(100));
+    return Result{t.hosts[0]->completed_flows().size() +
+                      t.hosts[1]->completed_flows().size(),
+                  t.hosts[0]->FindQp(a.flow_id)->counters()
+                          .retransmitted_packets +
+                      t.hosts[1]->FindQp(b.flow_id)->counters()
+                          .retransmitted_packets};
+  };
+  const Result gbn = run(false);
+  const Result gb0 = run(true);
+  EXPECT_EQ(gbn.completed, 2u);
+  EXPECT_EQ(gb0.completed, 2u);  // small messages still finish eventually
+  // ...but go-back-0 pays for every loss with a whole-message replay.
+  EXPECT_GT(gb0.retransmitted, 3 * gbn.retransmitted);
+}
+
+TEST(Nic, GoBackZeroStillCompletesWhenLossesStop) {
+  // One loss episode then a clean fabric: the restart marker rewinds the
+  // receiver and the message completes.
+  TopologyOptions opt = DefaultOpts();
+  opt.switch_config.pfc_enabled = false;
+  opt.switch_config.buffer.total_buffer = 200 * kKB;
+  Network net(5);
+  auto t = BuildStar(net, 3, opt);
+  // A short burst from host 1 collides with host 0's message start.
+  FlowSpec burst = Flow(net, t.hosts[1], t.hosts[2], 300 * 1000,
+                        TransportMode::kRdmaRaw);
+  FlowSpec msg = Flow(net, t.hosts[0], t.hosts[2], 500 * 1000,
+                      TransportMode::kRdmaRaw);
+  net.StartFlow(burst);
+  net.StartFlow(msg);
+  net.RunFor(Milliseconds(100));
+  ASSERT_EQ(t.hosts[0]->completed_flows().size(), 1u);
+  EXPECT_EQ(t.hosts[0]->completed_flows()[0].bytes, 500 * 1000);
+}
+
+TEST(Nic, DcqcnDrasticallyReducesPauses) {
+  auto run = [](TransportMode mode) {
+    Network net(11);
+    auto t = BuildStar(net, 9, DefaultOpts());
+    for (int i = 0; i < 8; ++i) {
+      FlowSpec f;
+      f.flow_id = i;
+      f.src_host = t.hosts[static_cast<size_t>(i)]->id();
+      f.dst_host = t.hosts[8]->id();
+      f.size_bytes = 0;
+      f.mode = mode;
+      net.StartFlow(f);
+    }
+    net.RunFor(Milliseconds(30));
+    return net.TotalPauseFramesSent();
+  };
+  const int64_t without = run(TransportMode::kRdmaRaw);
+  const int64_t with = run(TransportMode::kRdmaDcqcn);
+  EXPECT_GT(without, 50);
+  EXPECT_LT(with, without / 10);
+}
+
+TEST(Nic, CnpsFlowOnMarkedPackets) {
+  Network net(5);
+  auto t = BuildStar(net, 3, DefaultOpts());
+  FlowSpec f1 = Flow(net, t.hosts[0], t.hosts[2], 0, TransportMode::kRdmaDcqcn);
+  FlowSpec f2 = Flow(net, t.hosts[1], t.hosts[2], 0, TransportMode::kRdmaDcqcn);
+  net.StartFlow(f1);
+  net.StartFlow(f2);
+  net.RunFor(Milliseconds(10));
+  EXPECT_GT(t.hosts[2]->counters().cnps_sent, 0);
+  EXPECT_GT(t.hosts[0]->FindQp(f1.flow_id)->counters().cnps_received, 0);
+  EXPECT_GT(t.sw->counters().ecn_marked_packets, 0);
+}
+
+TEST(Nic, PausedNicHoldsData) {
+  Network net(1);
+  auto t = BuildStar(net, 2, DefaultOpts());
+  // Pause the data priority on host 0's uplink by injecting a PAUSE.
+  Packet pause;
+  pause.type = PacketType::kPause;
+  pause.pfc_priority = kDataPriority;
+  t.hosts[0]->ReceivePacket(pause, 0);
+  FlowSpec f = Flow(net, t.hosts[0], t.hosts[1], 100 * 1000,
+                    TransportMode::kRdmaRaw);
+  net.StartFlow(f);
+  net.RunFor(Milliseconds(2));
+  EXPECT_EQ(Delivered(t.hosts[1], f.flow_id), 0);
+  EXPECT_TRUE(t.hosts[0]->TxPaused(kDataPriority));
+  // Resume and the message completes.
+  Packet resume = pause;
+  resume.type = PacketType::kResume;
+  t.hosts[0]->ReceivePacket(resume, 0);
+  net.RunFor(Milliseconds(2));
+  EXPECT_EQ(Delivered(t.hosts[1], f.flow_id), f.size_bytes);
+}
+
+TEST(Nic, DctcpFlowCompletes) {
+  Network net(1);
+  auto t = BuildStar(net, 2, DefaultOpts());
+  FlowSpec f = Flow(net, t.hosts[0], t.hosts[1], 1 * 1000 * 1000,
+                    TransportMode::kDctcp);
+  net.StartFlow(f);
+  net.RunFor(Milliseconds(50));
+  ASSERT_EQ(t.hosts[0]->completed_flows().size(), 1u);
+  EXPECT_EQ(Delivered(t.hosts[1], f.flow_id), f.size_bytes);
+}
+
+TEST(Nic, DctcpTwoFlowsShareAndKeepQueueNearK) {
+  TopologyOptions opt = DefaultOpts();
+  opt.switch_config.red = RedEcnConfig::CutOff(160 * kKB);
+  Network net(17);
+  auto t = BuildStar(net, 3, opt);
+  FlowSpec f1 = Flow(net, t.hosts[0], t.hosts[2], 0, TransportMode::kDctcp);
+  FlowSpec f2 = Flow(net, t.hosts[1], t.hosts[2], 0, TransportMode::kDctcp);
+  net.StartFlow(f1);
+  net.StartFlow(f2);
+  net.RunFor(Milliseconds(30));
+  const Bytes d1 = Delivered(t.hosts[2], f1.flow_id);
+  const Bytes d2 = Delivered(t.hosts[2], f2.flow_id);
+  net.RunFor(Milliseconds(30));
+  const double r1 =
+      static_cast<double>(Delivered(t.hosts[2], f1.flow_id) - d1);
+  const double r2 =
+      static_cast<double>(Delivered(t.hosts[2], f2.flow_id) - d2);
+  EXPECT_GT((r1 + r2) * 8 / 0.030, 0.85 * Gbps(40));
+  EXPECT_NEAR(r1 / (r1 + r2), 0.5, 0.15);
+}
+
+TEST(Nic, QpReuseCompletesEachMessageSeparately) {
+  Network net(1);
+  auto t = BuildStar(net, 2, DefaultOpts());
+  FlowSpec f = Flow(net, t.hosts[0], t.hosts[1], 100 * 1000,
+                    TransportMode::kRdmaRaw);
+  SenderQp* qp = net.StartFlow(f);
+  net.RunFor(Milliseconds(1));
+  ASSERT_EQ(t.hosts[0]->completed_flows().size(), 1u);
+  EXPECT_TRUE(qp->complete());
+  // Two more transfers on the same (warm) QP.
+  qp->EnqueueMessage(200 * 1000);
+  net.RunFor(Milliseconds(1));
+  qp->EnqueueMessage(50 * 1000);
+  net.RunFor(Milliseconds(1));
+  const auto& recs = t.hosts[0]->completed_flows();
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[1].bytes, 200 * 1000);
+  EXPECT_EQ(recs[2].bytes, 50 * 1000);
+  // All bytes delivered in order on one sequence space.
+  EXPECT_EQ(Delivered(t.hosts[1], f.flow_id), 350 * 1000);
+  // Per-message goodput is sane.
+  EXPECT_GT(recs[1].goodput(), Gbps(30));
+}
+
+TEST(Nic, BackToBackMessagesKeepLink100PercentBusy) {
+  Network net(1);
+  auto t = BuildStar(net, 2, DefaultOpts());
+  FlowSpec f = Flow(net, t.hosts[0], t.hosts[1], 400 * 1000,
+                    TransportMode::kRdmaRaw);
+  SenderQp* qp = net.StartFlow(f);
+  // Enqueue while the first is still in flight: no idle gap between them.
+  for (int i = 0; i < 9; ++i) qp->EnqueueMessage(400 * 1000);
+  net.RunFor(Milliseconds(2));
+  // 4 MB total at 40 Gbps = 800 us; all ten messages done well within 2 ms.
+  EXPECT_EQ(t.hosts[0]->completed_flows().size(), 10u);
+  EXPECT_EQ(Delivered(t.hosts[1], f.flow_id), 4000 * 1000);
+}
+
+TEST(Nic, WarmQpKeepsRateLimiterStateAcrossMessages) {
+  // After congestion, a new message on the same QP starts at the reduced
+  // rate (not line rate) — the behavior QP reuse exists to model.
+  Network net(9);
+  auto t = BuildStar(net, 3, DefaultOpts());
+  FlowSpec bg = Flow(net, t.hosts[1], t.hosts[2], 0,
+                     TransportMode::kRdmaDcqcn);
+  net.StartFlow(bg);
+  FlowSpec f = Flow(net, t.hosts[0], t.hosts[2], 4000 * 1000,
+                    TransportMode::kRdmaDcqcn);
+  SenderQp* qp = net.StartFlow(f);
+  net.RunFor(Milliseconds(5));
+  ASSERT_TRUE(qp->rp() != nullptr);
+  ASSERT_TRUE(qp->rp()->limiting());  // congested share of 40G
+  const Rate rate_before = qp->current_rate();
+  qp->EnqueueMessage(1000 * 1000);
+  EXPECT_DOUBLE_EQ(qp->current_rate(), rate_before);
+}
+
+TEST(Nic, CompletionCallbackFires) {
+  Network net(1);
+  auto t = BuildStar(net, 2, DefaultOpts());
+  int completions = 0;
+  t.hosts[0]->AddCompletionCallback(
+      [&](const FlowRecord&) { ++completions; });
+  net.StartFlow(Flow(net, t.hosts[0], t.hosts[1], 10 * 1000,
+                     TransportMode::kRdmaRaw));
+  net.RunFor(Milliseconds(1));
+  EXPECT_EQ(completions, 1);
+}
+
+}  // namespace
+}  // namespace dcqcn

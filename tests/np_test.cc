@@ -1,0 +1,66 @@
+// NP state machine tests (Fig. 6): one CNP per flow per 50 us window.
+#include "core/np.h"
+
+#include <gtest/gtest.h>
+
+namespace dcqcn {
+namespace {
+
+TEST(Np, FirstMarkedPacketSendsImmediately) {
+  DcqcnParams p;
+  NpState np;
+  EXPECT_TRUE(np.OnMarkedPacket(Microseconds(123), p));
+  EXPECT_EQ(np.cnps_sent(), 1);
+}
+
+TEST(Np, AtMostOnePerInterval) {
+  DcqcnParams p;  // 50 us interval
+  NpState np;
+  EXPECT_TRUE(np.OnMarkedPacket(0, p));
+  for (Time t = Microseconds(1); t < Microseconds(50); t += Microseconds(7)) {
+    EXPECT_FALSE(np.OnMarkedPacket(t, p));
+  }
+  EXPECT_TRUE(np.OnMarkedPacket(Microseconds(50), p));
+  EXPECT_EQ(np.cnps_sent(), 2);
+}
+
+TEST(Np, QuietPeriodThenImmediateAgain) {
+  DcqcnParams p;
+  NpState np;
+  EXPECT_TRUE(np.OnMarkedPacket(0, p));
+  // Long silence: next marked packet elicits a CNP immediately.
+  EXPECT_TRUE(np.OnMarkedPacket(Milliseconds(10), p));
+}
+
+TEST(Np, RateBoundedOverBurst) {
+  DcqcnParams p;
+  NpState np;
+  // 1000 marked packets over 1 ms -> at most ceil(1ms/50us)+1 = 21 CNPs.
+  int sent = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Time t = i * Microseconds(1);
+    sent += np.OnMarkedPacket(t, p);
+  }
+  EXPECT_LE(sent, 21);
+  EXPECT_GE(sent, 19);
+}
+
+TEST(CnpGate, DisabledWhenZeroGap) {
+  DcqcnParams p;
+  p.cnp_gen_min_gap = 0;
+  CnpGenerationGate gate;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(gate.Allow(0, p));
+}
+
+TEST(CnpGate, EnforcesNicWideGap) {
+  DcqcnParams p;
+  p.cnp_gen_min_gap = Microseconds(1);
+  CnpGenerationGate gate;
+  EXPECT_TRUE(gate.Allow(0, p));
+  EXPECT_FALSE(gate.Allow(Nanoseconds(500), p));
+  EXPECT_TRUE(gate.Allow(Microseconds(1), p));
+  EXPECT_EQ(gate.suppressed(), 1);
+}
+
+}  // namespace
+}  // namespace dcqcn

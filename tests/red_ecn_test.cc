@@ -1,0 +1,71 @@
+#include "core/red_ecn.h"
+
+#include <gtest/gtest.h>
+
+namespace dcqcn {
+namespace {
+
+TEST(RedEcn, DisabledNeverMarks) {
+  RedEcnConfig c;  // enabled = false by default
+  Rng rng(1);
+  EXPECT_EQ(RedMarkProbability(c, 1000 * kKB), 0.0);
+  EXPECT_FALSE(RedShouldMark(c, 1000 * kKB, rng));
+}
+
+TEST(RedEcn, BelowKminNeverMarks) {
+  RedEcnConfig c = RedEcnConfig::Deployment();
+  EXPECT_EQ(RedMarkProbability(c, 0), 0.0);
+  EXPECT_EQ(RedMarkProbability(c, c.kmin), 0.0);
+}
+
+TEST(RedEcn, AboveKmaxAlwaysMarks) {
+  RedEcnConfig c = RedEcnConfig::Deployment();
+  Rng rng(1);
+  EXPECT_EQ(RedMarkProbability(c, c.kmax + 1), 1.0);
+  EXPECT_TRUE(RedShouldMark(c, c.kmax + 1, rng));
+}
+
+TEST(RedEcn, LinearInBetween) {
+  RedEcnConfig c = RedEcnConfig::Deployment();  // 5KB..200KB, pmax 1%
+  const Bytes mid = (c.kmin + c.kmax) / 2;
+  EXPECT_NEAR(RedMarkProbability(c, mid), c.pmax / 2, 1e-9);
+  // Quarter point.
+  const Bytes q = c.kmin + (c.kmax - c.kmin) / 4;
+  EXPECT_NEAR(RedMarkProbability(c, q), c.pmax / 4, 1e-9);
+  // Just above kmin: tiny but positive ("marking probability around Kmin is
+  // very little", §5.2).
+  EXPECT_GT(RedMarkProbability(c, c.kmin + 1), 0.0);
+  EXPECT_LT(RedMarkProbability(c, c.kmin + 1 * kKB), 0.0001);
+}
+
+TEST(RedEcn, CutOffIsStepFunction) {
+  RedEcnConfig c = RedEcnConfig::CutOff(40 * kKB);
+  EXPECT_EQ(RedMarkProbability(c, 40 * kKB), 0.0);
+  EXPECT_EQ(RedMarkProbability(c, 40 * kKB + 1), 1.0);
+}
+
+TEST(RedEcn, EmpiricalMarkRateMatchesProbability) {
+  RedEcnConfig c = RedEcnConfig::Deployment();
+  Rng rng(99);
+  const Bytes mid = (c.kmin + c.kmax) / 2;  // p = pmax/2 = 0.5%
+  int marks = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) marks += RedShouldMark(c, mid, rng);
+  EXPECT_NEAR(static_cast<double>(marks) / n, 0.005, 0.001);
+}
+
+TEST(RedEcn, DeploymentMatchesFig14) {
+  RedEcnConfig c = RedEcnConfig::Deployment();
+  EXPECT_EQ(c.kmin, 5 * kKB);
+  EXPECT_EQ(c.kmax, 200 * kKB);
+  EXPECT_DOUBLE_EQ(c.pmax, 0.01);
+}
+
+TEST(RedEcn, ValidateRejectsBadConfig) {
+  RedEcnConfig c = RedEcnConfig::Deployment();
+  c.kmax = c.kmin - 1;
+  EXPECT_DEATH(c.Validate(), "kmax");
+}
+
+}  // namespace
+}  // namespace dcqcn

@@ -1,0 +1,75 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace dcqcn {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.Uniform(5.0, 6.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.Chance(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.Exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  Rng r(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.Pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, LogNormalPositive) {
+  Rng r(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(r.LogNormal(0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dcqcn

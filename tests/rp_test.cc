@@ -1,0 +1,194 @@
+// RP state machine tests (Fig. 7, Eq. 1-4).
+#include "core/rp.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace dcqcn {
+namespace {
+
+constexpr Rate kLine = Gbps(40);
+
+DcqcnParams Params() { return DcqcnParams::Deployment(); }
+
+TEST(Rp, StartsAtLineRateUnlimited) {
+  RpState rp(Params(), kLine);
+  EXPECT_FALSE(rp.limiting());
+  EXPECT_DOUBLE_EQ(rp.current_rate(), kLine);
+  EXPECT_DOUBLE_EQ(rp.alpha(), 1.0);
+}
+
+TEST(Rp, FirstCnpHalvesRate) {
+  // Eq. 1 with initial alpha = 1: R_C = R_C * (1 - 1/2).
+  RpState rp(Params(), kLine);
+  rp.OnCnp();
+  EXPECT_TRUE(rp.limiting());
+  EXPECT_DOUBLE_EQ(rp.current_rate(), kLine / 2.0);
+  EXPECT_DOUBLE_EQ(rp.target_rate(), kLine);
+}
+
+TEST(Rp, CnpUpdatesAlphaTowardOne) {
+  auto p = Params();
+  RpState rp(p, kLine);
+  rp.OnCnp();
+  // alpha = (1-g)*1 + g = 1 still.
+  EXPECT_DOUBLE_EQ(rp.alpha(), 1.0);
+  // Decay then cut again: alpha moves toward 1.
+  rp.OnAlphaTimer();
+  const double decayed = (1.0 - p.g);
+  EXPECT_DOUBLE_EQ(rp.alpha(), decayed);
+  rp.OnCnp();
+  EXPECT_DOUBLE_EQ(rp.alpha(), (1.0 - p.g) * decayed + p.g);
+}
+
+TEST(Rp, AlphaTimerDecaysAlpha) {
+  auto p = Params();
+  RpState rp(p, kLine);
+  rp.OnCnp();
+  for (int i = 0; i < 10; ++i) rp.OnAlphaTimer();
+  EXPECT_NEAR(rp.alpha(), std::pow(1.0 - p.g, 10), 1e-12);
+}
+
+TEST(Rp, AlphaTimerNoEffectWhenNotLimiting) {
+  RpState rp(Params(), kLine);
+  rp.OnAlphaTimer();
+  EXPECT_DOUBLE_EQ(rp.alpha(), 1.0);
+}
+
+TEST(Rp, SmallerAlphaMeansGentlerCut) {
+  auto p = Params();
+  RpState rp(p, kLine);
+  rp.OnCnp();  // rate = 20G
+  for (int i = 0; i < 200; ++i) rp.OnAlphaTimer();  // alpha ~ 0.46
+  const Rate before = rp.current_rate();
+  const double alpha = rp.alpha();
+  rp.OnCnp();
+  EXPECT_NEAR(rp.current_rate(), before * (1.0 - alpha / 2.0),
+              before * 1e-9);
+  EXPECT_GT(rp.current_rate(), before / 2.0);
+}
+
+TEST(Rp, FastRecoveryHalvesGapToTarget) {
+  // Eq. 3: each of the first F-1 iterations halves (R_T - R_C).
+  auto p = Params();
+  RpState rp(p, kLine);
+  rp.OnCnp();  // R_C = 20G, R_T = 40G
+  double expected = ToGbps(kLine) / 2.0;
+  for (int i = 1; i < p.fast_recovery_steps; ++i) {
+    rp.OnRateTimer();
+    expected = (expected + 40.0) / 2.0;
+    EXPECT_NEAR(ToGbps(rp.current_rate()), expected, 1e-9);
+    EXPECT_NEAR(ToGbps(rp.target_rate()), 40.0, 1e-9);  // target fixed in FR
+  }
+}
+
+TEST(Rp, AdditiveIncreaseRaisesTargetByRai) {
+  auto p = Params();
+  RpState rp(p, kLine);
+  rp.OnCnp();
+  // Finish fast recovery via timer events (T reaches F).
+  for (int i = 0; i < p.fast_recovery_steps; ++i) rp.OnRateTimer();
+  // Next event: max(T,BC) = F+1 > F but min(T,BC) = 0 < F -> additive.
+  const Rate rt_before = rp.target_rate();
+  rp.OnRateTimer();
+  EXPECT_NEAR(rp.target_rate(), std::min(kLine, rt_before + p.rate_ai), 1.0);
+}
+
+TEST(Rp, ByteCounterTriggersEveryBBytes) {
+  auto p = Params();
+  p.byte_counter = 10 * 1000;  // small B for the test
+  RpState rp(p, kLine);
+  rp.OnCnp();
+  EXPECT_EQ(rp.OnBytesSent(9 * 1000), 0);
+  EXPECT_EQ(rp.byte_counter_count(), 0);
+  EXPECT_EQ(rp.OnBytesSent(1000), 1);
+  EXPECT_EQ(rp.byte_counter_count(), 1);
+  // A huge send can span several windows.
+  EXPECT_EQ(rp.OnBytesSent(35 * 1000), 3);
+}
+
+TEST(Rp, HyperIncreaseWhenBothClocksPastF) {
+  auto p = Params();
+  p.byte_counter = 1000;  // every packet expires the byte counter
+  RpState rp(p, Gbps(400000));  // huge line rate so it never releases
+  // Several cuts pull R_T well below the line-rate cap so the HAI bump on
+  // R_T is observable.
+  rp.OnCnp();
+  rp.OnCnp();
+  rp.OnCnp();
+  // Drive both T and BC beyond F.
+  for (int i = 0; i <= p.fast_recovery_steps; ++i) {
+    rp.OnRateTimer();
+    rp.OnBytesSent(1000);
+  }
+  const Rate rt_before = rp.target_rate();
+  rp.OnRateTimer();  // min(T,BC) > F -> hyper increase
+  EXPECT_NEAR(rp.target_rate() - rt_before, p.rate_hai, 1.0);
+}
+
+TEST(Rp, CnpResetsCounters) {
+  auto p = Params();
+  RpState rp(p, kLine);
+  rp.OnCnp();
+  for (int i = 0; i < 3; ++i) rp.OnRateTimer();
+  EXPECT_EQ(rp.timer_count(), 3);
+  rp.OnCnp();
+  EXPECT_EQ(rp.timer_count(), 0);
+  EXPECT_EQ(rp.byte_counter_count(), 0);
+}
+
+TEST(Rp, RecoveryReleasesLimiterAtLineRate) {
+  auto p = Params();
+  RpState rp(p, kLine);
+  rp.OnCnp();
+  // Repeated timer increases must eventually recover to line rate and
+  // release the limiter (QCN semantics; "hyper-fast start" next time).
+  int iters = 0;
+  while (rp.limiting() && iters < 100000) {
+    rp.OnRateTimer();
+    ++iters;
+  }
+  EXPECT_FALSE(rp.limiting());
+  EXPECT_DOUBLE_EQ(rp.current_rate(), kLine);
+  EXPECT_DOUBLE_EQ(rp.alpha(), 1.0);  // episode state discarded
+  EXPECT_LT(iters, 100000);
+}
+
+TEST(Rp, RateNeverExceedsLineRate) {
+  auto p = Params();
+  RpState rp(p, kLine);
+  rp.OnCnp();
+  for (int i = 0; i < 10000 && rp.limiting(); ++i) {
+    rp.OnRateTimer();
+    rp.OnBytesSent(kMtu);
+    EXPECT_LE(rp.current_rate(), kLine * (1 + 1e-12));
+    EXPECT_LE(rp.target_rate(), kLine * (1 + 1e-12));
+  }
+}
+
+TEST(Rp, RateNeverBelowMinRate) {
+  auto p = Params();
+  RpState rp(p, kLine);
+  for (int i = 0; i < 1000; ++i) {
+    rp.OnCnp();
+    EXPECT_GE(rp.current_rate(), p.min_rate);
+  }
+}
+
+TEST(Rp, RepeatedCnpsConvergeTowardMin) {
+  // Sustained congestion: alpha stays ~1, rate decays geometrically.
+  auto p = Params();
+  RpState rp(p, kLine);
+  for (int i = 0; i < 50; ++i) rp.OnCnp();
+  EXPECT_LT(rp.current_rate(), Mbps(100));
+}
+
+TEST(Rp, ByteCounterIgnoredWhenNotLimiting) {
+  RpState rp(Params(), kLine);
+  EXPECT_EQ(rp.OnBytesSent(100 * 1000 * 1000), 0);
+  EXPECT_FALSE(rp.limiting());
+}
+
+}  // namespace
+}  // namespace dcqcn

@@ -1,0 +1,88 @@
+// Tests for the fluid stability probe (the paper's §5 future-work item).
+#include "fluid/stability.h"
+
+#include <gtest/gtest.h>
+
+namespace dcqcn {
+namespace {
+
+FluidParams Deployment(int n) {
+  return FluidParams::FromDcqcn(DcqcnParams::Deployment(), Gbps(40), n);
+}
+
+TEST(Stability, DeploymentParamsStableAtTwoFlows) {
+  const StabilityResult r = ProbeStability(Deployment(2));
+  EXPECT_TRUE(r.stable);
+  EXPECT_LT(r.envelope_rate, 0.0);
+}
+
+TEST(Stability, DeploymentParamsStableAtEightFlows) {
+  const StabilityResult r = ProbeStability(Deployment(8));
+  EXPECT_TRUE(r.stable);
+}
+
+TEST(Stability, LargeGDestabilizes) {
+  // g = 1/4 overreacts: alpha tracks the (delayed) marking signal too
+  // aggressively and the loop rings.
+  FluidParams p = Deployment(8);
+  p.g = 1.0 / 4.0;
+  EXPECT_FALSE(ProbeStability(p).stable);
+}
+
+TEST(Stability, Fig12RegimeReproduced) {
+  // g = 1/16 is fine at 2:1 but unstable at 8:1 — the quantitative backing
+  // for Fig. 12's "smaller g" recommendation.
+  FluidParams two = Deployment(2);
+  two.g = 1.0 / 16.0;
+  FluidParams eight = Deployment(8);
+  eight.g = 1.0 / 16.0;
+  EXPECT_TRUE(ProbeStability(two).stable);
+  EXPECT_FALSE(ProbeStability(eight).stable);
+}
+
+TEST(Stability, LongerFeedbackDelayDestabilizes) {
+  FluidParams p = Deployment(2);
+  EXPECT_TRUE(ProbeStability(p).stable);
+  p.tau_star *= 4;
+  EXPECT_FALSE(ProbeStability(p).stable);
+}
+
+TEST(Stability, SmallerGDampsFaster) {
+  FluidParams coarse = Deployment(8);
+  coarse.g = 1.0 / 64.0;
+  FluidParams fine = Deployment(8);
+  fine.g = 1.0 / 256.0;
+  const StabilityResult rc_ = ProbeStability(coarse);
+  const StabilityResult rf = ProbeStability(fine);
+  ASSERT_TRUE(rc_.stable);
+  ASSERT_TRUE(rf.stable);
+  EXPECT_LT(rf.envelope_rate, rc_.envelope_rate);
+}
+
+TEST(Stability, WarmStartReallyIsAFixedPoint) {
+  // Without a perturbation the model must sit still at the fixed point.
+  const FluidParams p = Deployment(4);
+  const FluidFixedPoint fp = SolveFixedPoint(p);
+  FluidModel m(p);
+  m.WarmStartAtFixedPoint(fp);
+  const double fair = p.capacity_pps / 4;
+  m.RunUntil(0.02);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(m.flow(i).rc, fair, fair * 0.02) << i;
+  }
+  EXPECT_NEAR(m.queue_bytes(), fp.queue_bytes,
+              std::max(2e3, fp.queue_bytes * 0.2));
+}
+
+TEST(Stability, PerturbClampsToBounds) {
+  const FluidParams p = Deployment(2);
+  FluidModel m(p);
+  m.StartFlow(0);
+  m.Perturb(0, 100.0);
+  EXPECT_LE(m.flow(0).rc, p.line_rate_pps);
+  m.Perturb(0, 1e-9);
+  EXPECT_GE(m.flow(0).rc, p.min_rate_pps);
+}
+
+}  // namespace
+}  // namespace dcqcn

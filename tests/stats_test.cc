@@ -1,0 +1,105 @@
+#include "stats/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace dcqcn {
+namespace {
+
+TEST(Percentile, OrderStatistics) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.9), 9.0);
+}
+
+TEST(Percentile, SingleValue) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 1.0), 7.0);
+}
+
+TEST(Summary, ComputesAllFields) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  Summary s = Summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 100);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p10, 10.9, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.count, 100u);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Jain, PerfectFairness) {
+  EXPECT_DOUBLE_EQ(JainIndex({10, 10, 10, 10}), 1.0);
+}
+
+TEST(Jain, TotalUnfairness) {
+  // One flow hogging everything among n flows gives 1/n.
+  EXPECT_NEAR(JainIndex({40, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(Jain, IntermediateOrdering) {
+  const double fair = JainIndex({10, 10, 10, 10});
+  const double skew = JainIndex({20, 10, 5, 5});
+  const double worse = JainIndex({37, 1, 1, 1});
+  EXPECT_GT(fair, skew);
+  EXPECT_GT(skew, worse);
+}
+
+TEST(Cdf, QuantilesAndFractions) {
+  Cdf c;
+  for (int i = 1; i <= 10; ++i) c.Add(i);
+  EXPECT_DOUBLE_EQ(c.Quantile(0.0), 1);
+  EXPECT_DOUBLE_EQ(c.Quantile(1.0), 10);
+  EXPECT_DOUBLE_EQ(c.FractionBelow(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(c.FractionBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.FractionBelow(100), 1.0);
+}
+
+TEST(Cdf, AddAfterQuantileStillSorted) {
+  Cdf c;
+  c.Add(3);
+  c.Add(1);
+  EXPECT_DOUBLE_EQ(c.Quantile(1.0), 3);
+  c.Add(2);
+  EXPECT_DOUBLE_EQ(c.Quantile(0.5), 2);
+}
+
+TEST(Cdf, PointsAreMonotone) {
+  Cdf c;
+  for (int i = 0; i < 100; ++i) c.Add((i * 37) % 101);
+  auto pts = c.Points(11);
+  ASSERT_EQ(pts.size(), 11u);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+    EXPECT_GT(pts[i].first, pts[i - 1].first);
+  }
+}
+
+TEST(TimeSeries, MeanAndMaxOverWindow) {
+  TimeSeries ts;
+  ts.Add(Milliseconds(1), 10);
+  ts.Add(Milliseconds(2), 20);
+  ts.Add(Milliseconds(3), 30);
+  EXPECT_DOUBLE_EQ(ts.MeanOver(Milliseconds(1), Milliseconds(3)), 15.0);
+  EXPECT_DOUBLE_EQ(ts.MeanOver(0, Milliseconds(10)), 20.0);
+  EXPECT_DOUBLE_EQ(ts.MaxOver(0, Milliseconds(10)), 30.0);
+  EXPECT_DOUBLE_EQ(ts.MeanOver(Milliseconds(5), Milliseconds(6)), 0.0);
+}
+
+}  // namespace
+}  // namespace dcqcn

@@ -1,0 +1,115 @@
+// Tests for the §4 buffer-threshold analysis. The paper's numbers for the
+// Arista 7050QX32 (Trident II, 12 MB, 32x40G, 8 priorities, 1000 B MTU):
+//   t_flight ~= 22.4 KB, static t_PFC <= 24.47 KB, naive t_ECN < 0.85 KB
+//   (infeasible, < 1 MTU), dynamic bound with beta=8 ~= 21.7 KB.
+#include "core/thresholds.h"
+
+#include <gtest/gtest.h>
+
+namespace dcqcn {
+namespace {
+
+SwitchBufferSpec PaperSpec() { return SwitchBufferSpec{}; }
+
+TEST(Thresholds, HeadroomMatchesPaper) {
+  // Paper: "we get t_flight = 22.4KB per port, per priority."
+  const Bytes h = HeadroomPerPortPriority(PaperSpec());
+  EXPECT_NEAR(static_cast<double>(h), 22.4e3, 1.0e3);
+}
+
+TEST(Thresholds, HeadroomGrowsWithCableLength) {
+  SwitchBufferSpec near = PaperSpec();
+  SwitchBufferSpec far = PaperSpec();
+  far.cable_delay = near.cable_delay * 4;
+  EXPECT_GT(HeadroomPerPortPriority(far), HeadroomPerPortPriority(near));
+}
+
+TEST(Thresholds, HeadroomGrowsWithRate) {
+  SwitchBufferSpec slow = PaperSpec();
+  slow.port_rate = Gbps(10);
+  EXPECT_LT(HeadroomPerPortPriority(slow),
+            HeadroomPerPortPriority(PaperSpec()));
+}
+
+TEST(Thresholds, StaticPfcMatchesPaper) {
+  // Paper: "t_PFC <= 24.47KB" — the formula (B - 8 n t_flight) / (8 n).
+  const auto spec = PaperSpec();
+  const Bytes h = HeadroomPerPortPriority(spec);
+  const Bytes t = StaticPfcThreshold(spec, h);
+  EXPECT_NEAR(static_cast<double>(t), 24.47e3, 2.5e3);
+  // Exact identity check against the formula.
+  EXPECT_EQ(t, (spec.total_buffer - 8 * 32 * h) / (8 * 32));
+}
+
+TEST(Thresholds, NaiveEcnBoundInfeasible) {
+  // Paper: with the static t_PFC, t_ECN < 0.85KB "less than one MTU and
+  // hence infeasible".
+  const auto spec = PaperSpec();
+  const Bytes h = HeadroomPerPortPriority(spec);
+  EXPECT_LT(StaticEcnBound(spec, h), spec.mtu);
+}
+
+TEST(Thresholds, DynamicEcnBoundFeasibleWithBeta8) {
+  // Paper: beta = 8 leads to t_ECN < ~21.7KB — comfortably above one MTU.
+  const auto spec = PaperSpec();
+  const Bytes h = HeadroomPerPortPriority(spec);
+  const Bytes bound = DynamicEcnBound(spec, h, 8.0);
+  EXPECT_GT(bound, spec.mtu);
+  EXPECT_NEAR(static_cast<double>(bound), 21.7e3, 3.0e3);
+}
+
+TEST(Thresholds, LargerBetaLeavesMoreRoomForEcn) {
+  // "Obviously, larger beta leaves more room for t_ECN."
+  const auto spec = PaperSpec();
+  const Bytes h = HeadroomPerPortPriority(spec);
+  Bytes prev = 0;
+  for (double beta : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const Bytes bound = DynamicEcnBound(spec, h, beta);
+    EXPECT_GT(bound, prev);
+    prev = bound;
+  }
+}
+
+TEST(Thresholds, DynamicThresholdShrinksWithOccupancy) {
+  const auto spec = PaperSpec();
+  const Bytes h = HeadroomPerPortPriority(spec);
+  const Bytes t0 = DynamicPfcThreshold(spec, h, 8.0, 0);
+  const Bytes t1 = DynamicPfcThreshold(spec, h, 8.0, 1 * kMiB);
+  const Bytes t2 = DynamicPfcThreshold(spec, h, 8.0, 6 * kMiB);
+  EXPECT_GT(t0, t1);
+  EXPECT_GT(t1, t2);
+}
+
+TEST(Thresholds, DynamicThresholdZeroWhenFull) {
+  const auto spec = PaperSpec();
+  const Bytes h = HeadroomPerPortPriority(spec);
+  EXPECT_EQ(DynamicPfcThreshold(spec, h, 8.0, spec.total_buffer), 0);
+}
+
+TEST(Thresholds, EcnBeforePfcGuaranteeHolds) {
+  const auto spec = PaperSpec();
+  const Bytes h = HeadroomPerPortPriority(spec);
+  const Bytes bound = DynamicEcnBound(spec, h, 8.0);
+  // The deployment Kmin (5 KB) satisfies the guarantee; a 120 KB Kmin (the
+  // Fig. 18 misconfiguration used 5x the static bound) does not.
+  EXPECT_TRUE(EcnBeforePfcGuaranteed(spec, h, 8.0, 5 * kKB));
+  EXPECT_TRUE(EcnBeforePfcGuaranteed(spec, h, 8.0, bound - kMtu));
+  EXPECT_FALSE(EcnBeforePfcGuaranteed(spec, h, 8.0, 120 * kKB));
+}
+
+TEST(Thresholds, FeasibleRegionIsContiguous) {
+  // Property: if t is guaranteed, every t' < t is too.
+  const auto spec = PaperSpec();
+  const Bytes h = HeadroomPerPortPriority(spec);
+  bool guaranteed_so_far = true;
+  for (Bytes t = 1 * kKB; t <= 64 * kKB; t += 1 * kKB) {
+    const bool g = EcnBeforePfcGuaranteed(spec, h, 8.0, t);
+    if (!guaranteed_so_far) {
+      EXPECT_FALSE(g);
+    }
+    guaranteed_so_far = g;
+  }
+}
+
+}  // namespace
+}  // namespace dcqcn

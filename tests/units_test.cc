@@ -1,0 +1,59 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace dcqcn {
+namespace {
+
+TEST(Units, TimeConstants) {
+  EXPECT_EQ(Nanoseconds(1), 1000);
+  EXPECT_EQ(Microseconds(1), 1000 * 1000);
+  EXPECT_EQ(Milliseconds(1), Microseconds(1000));
+  EXPECT_EQ(Seconds(1), Milliseconds(1000));
+}
+
+TEST(Units, ToSeconds) {
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(ToMicroseconds(Microseconds(50)), 50.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Milliseconds(7)), 7.0);
+}
+
+TEST(Units, TransmissionTimeExactAt40G) {
+  // One byte at 40 Gbps is exactly 200 ps; a 1000 B MTU is exactly 200 ns.
+  EXPECT_EQ(TransmissionTime(1, Gbps(40)), 200);
+  EXPECT_EQ(TransmissionTime(1000, Gbps(40)), Nanoseconds(200));
+}
+
+TEST(Units, TransmissionTimeOtherRates) {
+  EXPECT_EQ(TransmissionTime(1000, Gbps(10)), Nanoseconds(800));
+  EXPECT_EQ(TransmissionTime(1500, Gbps(1)), Microseconds(12));
+}
+
+TEST(Units, TransmissionTimeRoundsUpNotDown) {
+  // 3 bytes at 7 Gbps = 24/7 ns = 3428.57... ps -> must round to >= actual.
+  const Time t = TransmissionTime(3, Gbps(7));
+  EXPECT_GE(static_cast<double>(t) * 7e9 / (8.0 * 1e12), 2.999);
+}
+
+TEST(Units, BytesInTimeInvertsTransmissionTime) {
+  for (Bytes b : {1000, 64, 9000, 1500}) {
+    const Time t = TransmissionTime(b, Gbps(40));
+    EXPECT_NEAR(static_cast<double>(BytesInTime(t, Gbps(40))),
+                static_cast<double>(b), 1.0);
+  }
+}
+
+TEST(Units, RateHelpers) {
+  EXPECT_DOUBLE_EQ(Gbps(40), 40e9);
+  EXPECT_DOUBLE_EQ(Mbps(40), 40e6);
+  EXPECT_DOUBLE_EQ(ToGbps(Gbps(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(ToMbps(Mbps(3)), 3.0);
+}
+
+TEST(Units, ZeroBytesZeroTime) {
+  EXPECT_EQ(TransmissionTime(0, Gbps(40)), 0);
+  EXPECT_EQ(BytesInTime(0, Gbps(40)), 0);
+}
+
+}  // namespace
+}  // namespace dcqcn

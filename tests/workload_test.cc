@@ -1,0 +1,132 @@
+// Benchmark-traffic generator tests (§6.2 workload) and the monitor
+// utilities, exercised over the real Clos testbed topology.
+#include "trace/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "stats/monitor.h"
+
+namespace dcqcn {
+namespace {
+
+std::vector<RdmaNic*> AllHosts(const ClosTopology& t) {
+  std::vector<RdmaNic*> hosts;
+  for (const auto& per_tor : t.hosts_by_tor) {
+    hosts.insert(hosts.end(), per_tor.begin(), per_tor.end());
+  }
+  return hosts;
+}
+
+TEST(Workload, UserPairsMakeClosedLoopProgress) {
+  Network net(1);
+  auto topo = BuildClos(net, 5, TopologyOptions{});
+  BenchmarkTrafficOptions opt;
+  opt.num_pairs = 10;
+  opt.incast_degree = 0;
+  opt.size_scale = 0.05;
+  BenchmarkTraffic traffic(net, AllHosts(topo), opt);
+  traffic.Begin();
+  net.RunFor(Milliseconds(10));
+  EXPECT_GT(traffic.user_transfers(), 50);
+  EXPECT_GT(traffic.user_goodput().size(), 50u);
+  // Goodputs are positive and below line rate.
+  EXPECT_GT(traffic.user_goodput().Quantile(0.5), 0.0);
+  EXPECT_LE(traffic.user_goodput().Quantile(1.0), 40.0);
+}
+
+TEST(Workload, IncastStreamsRepeat) {
+  Network net(2);
+  auto topo = BuildClos(net, 5, TopologyOptions{});
+  BenchmarkTrafficOptions opt;
+  opt.num_pairs = 0;
+  opt.incast_degree = 4;
+  opt.incast_flow_bytes = 100 * kKB;
+  BenchmarkTraffic traffic(net, AllHosts(topo), opt);
+  traffic.Begin();
+  net.RunFor(Milliseconds(10));
+  // Each of the 4 sources streams chunks continuously: many transfers.
+  EXPECT_GT(traffic.incast_transfers(), 16);
+  EXPECT_EQ(traffic.incast_goodput().size(),
+            static_cast<size_t>(traffic.incast_transfers()));
+}
+
+TEST(Workload, IncastSharesBottleneckAcrossSenders) {
+  Network net(3);
+  auto topo = BuildClos(net, 5, TopologyOptions{});
+  BenchmarkTrafficOptions opt;
+  opt.num_pairs = 0;
+  opt.incast_degree = 5;
+  opt.incast_flow_bytes = 250 * kKB;
+  opt.mode = TransportMode::kRdmaDcqcn;
+  BenchmarkTraffic traffic(net, AllHosts(topo), opt);
+  traffic.Begin();
+  net.RunFor(Milliseconds(20));
+  // Ideal per-flow is 8 Gbps (40/5); nobody can exceed it by much for a
+  // full round, and the median should be within a factor ~3 of ideal.
+  EXPECT_LT(traffic.incast_goodput().Quantile(0.5), 20.0);
+  EXPECT_GT(traffic.incast_goodput().Quantile(0.5), 2.0);
+}
+
+TEST(Workload, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    Network net(7);
+    auto topo = BuildClos(net, 5, TopologyOptions{});
+    BenchmarkTrafficOptions opt;
+    opt.num_pairs = 5;
+    opt.incast_degree = 3;
+    opt.size_scale = 0.05;
+    opt.seed = 42;
+    BenchmarkTraffic traffic(net, AllHosts(topo), opt);
+    traffic.Begin();
+    net.RunFor(Milliseconds(5));
+    return std::make_pair(traffic.user_transfers(),
+                          traffic.incast_transfers());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Monitor, FlowRateMonitorMeasuresGoodput) {
+  Network net(1);
+  auto topo = BuildStar(net, 2, TopologyOptions{});
+  FlowSpec f;
+  f.flow_id = 0;
+  f.src_host = topo.hosts[0]->id();
+  f.dst_host = topo.hosts[1]->id();
+  f.size_bytes = 0;  // greedy
+  f.mode = TransportMode::kRdmaRaw;
+  net.StartFlow(f);
+  FlowRateMonitor mon(&net.eq(), Milliseconds(1));
+  mon.Track("f0", [&] { return topo.hosts[1]->ReceiverDeliveredBytes(0); });
+  mon.Start();
+  net.RunFor(Milliseconds(10));
+  // Steady line-rate flow: every 1 ms window shows ~40 Gbps.
+  EXPECT_NEAR(mon.MeanGbps(0, Milliseconds(2), Milliseconds(10)), 40.0, 1.0);
+}
+
+TEST(Monitor, QueueMonitorBuildsCdf) {
+  Network net(5);
+  auto topo = BuildStar(net, 5, TopologyOptions{});
+  for (int i = 0; i < 4; ++i) {
+    FlowSpec f;
+    f.flow_id = i;
+    f.src_host = topo.hosts[static_cast<size_t>(i)]->id();
+    f.dst_host = topo.hosts[4]->id();
+    f.size_bytes = 0;
+    f.mode = TransportMode::kRdmaDcqcn;
+    net.StartFlow(f);
+  }
+  QueueMonitor mon(&net.eq(), Microseconds(10), [&] {
+    return topo.sw->EgressQueueBytes(4, kDataPriority);
+  });
+  mon.Start();
+  net.RunFor(Milliseconds(20));
+  Cdf cdf = mon.ToCdf(Milliseconds(5));
+  ASSERT_GT(cdf.size(), 100u);
+  // DCQCN keeps the queue bounded well below the DCTCP-style level.
+  EXPECT_LT(cdf.Quantile(0.9), 300e3);
+  EXPECT_GT(cdf.Quantile(0.9), 0.0);
+}
+
+}  // namespace
+}  // namespace dcqcn
