@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cnp_interval.dir/ablation_cnp_interval.cc.o"
+  "CMakeFiles/ablation_cnp_interval.dir/ablation_cnp_interval.cc.o.d"
+  "ablation_cnp_interval"
+  "ablation_cnp_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cnp_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

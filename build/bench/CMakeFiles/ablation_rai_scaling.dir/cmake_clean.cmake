@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rai_scaling.dir/ablation_rai_scaling.cc.o"
+  "CMakeFiles/ablation_rai_scaling.dir/ablation_rai_scaling.cc.o.d"
+  "ablation_rai_scaling"
+  "ablation_rai_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rai_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

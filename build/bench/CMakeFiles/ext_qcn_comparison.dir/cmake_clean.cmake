@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_qcn_comparison.dir/ext_qcn_comparison.cc.o"
+  "CMakeFiles/ext_qcn_comparison.dir/ext_qcn_comparison.cc.o.d"
+  "ext_qcn_comparison"
+  "ext_qcn_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_qcn_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

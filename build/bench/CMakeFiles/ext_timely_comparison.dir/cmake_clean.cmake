@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_timely_comparison.dir/ext_timely_comparison.cc.o"
+  "CMakeFiles/ext_timely_comparison.dir/ext_timely_comparison.cc.o.d"
+  "ext_timely_comparison"
+  "ext_timely_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_timely_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_tcp_vs_rdma.dir/fig01_tcp_vs_rdma.cc.o"
+  "CMakeFiles/fig01_tcp_vs_rdma.dir/fig01_tcp_vs_rdma.cc.o.d"
+  "fig01_tcp_vs_rdma"
+  "fig01_tcp_vs_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_tcp_vs_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_pfc_unfairness.dir/fig03_pfc_unfairness.cc.o"
+  "CMakeFiles/fig03_pfc_unfairness.dir/fig03_pfc_unfairness.cc.o.d"
+  "fig03_pfc_unfairness"
+  "fig03_pfc_unfairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_pfc_unfairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_victim_flow.dir/fig04_victim_flow.cc.o"
+  "CMakeFiles/fig04_victim_flow.dir/fig04_victim_flow.cc.o.d"
+  "fig04_victim_flow"
+  "fig04_victim_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_victim_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_dcqcn_fairness.dir/fig08_dcqcn_fairness.cc.o"
+  "CMakeFiles/fig08_dcqcn_fairness.dir/fig08_dcqcn_fairness.cc.o.d"
+  "fig08_dcqcn_fairness"
+  "fig08_dcqcn_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_dcqcn_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_dcqcn_victim.dir/fig09_dcqcn_victim.cc.o"
+  "CMakeFiles/fig09_dcqcn_victim.dir/fig09_dcqcn_victim.cc.o.d"
+  "fig09_dcqcn_victim"
+  "fig09_dcqcn_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dcqcn_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

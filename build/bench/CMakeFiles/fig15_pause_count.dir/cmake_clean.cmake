@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_pause_count.dir/fig15_pause_count.cc.o"
+  "CMakeFiles/fig15_pause_count.dir/fig15_pause_count.cc.o.d"
+  "fig15_pause_count"
+  "fig15_pause_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_pause_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_benchmark_traffic.dir/fig16_benchmark_traffic.cc.o"
+  "CMakeFiles/fig16_benchmark_traffic.dir/fig16_benchmark_traffic.cc.o.d"
+  "fig16_benchmark_traffic"
+  "fig16_benchmark_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_benchmark_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

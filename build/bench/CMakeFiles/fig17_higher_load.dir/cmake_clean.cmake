@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_higher_load.dir/fig17_higher_load.cc.o"
+  "CMakeFiles/fig17_higher_load.dir/fig17_higher_load.cc.o.d"
+  "fig17_higher_load"
+  "fig17_higher_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_higher_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_pfc_necessity.dir/fig18_pfc_necessity.cc.o"
+  "CMakeFiles/fig18_pfc_necessity.dir/fig18_pfc_necessity.cc.o.d"
+  "fig18_pfc_necessity"
+  "fig18_pfc_necessity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_pfc_necessity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

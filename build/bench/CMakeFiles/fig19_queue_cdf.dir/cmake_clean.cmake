@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_queue_cdf.dir/fig19_queue_cdf.cc.o"
+  "CMakeFiles/fig19_queue_cdf.dir/fig19_queue_cdf.cc.o.d"
+  "fig19_queue_cdf"
+  "fig19_queue_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_queue_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_multi_bottleneck.dir/fig20_multi_bottleneck.cc.o"
+  "CMakeFiles/fig20_multi_bottleneck.dir/fig20_multi_bottleneck.cc.o.d"
+  "fig20_multi_bottleneck"
+  "fig20_multi_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_multi_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

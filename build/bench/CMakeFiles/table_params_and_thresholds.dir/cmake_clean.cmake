@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_params_and_thresholds.dir/table_params_and_thresholds.cc.o"
+  "CMakeFiles/table_params_and_thresholds.dir/table_params_and_thresholds.cc.o.d"
+  "table_params_and_thresholds"
+  "table_params_and_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_params_and_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

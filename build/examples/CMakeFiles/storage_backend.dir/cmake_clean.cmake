@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_backend.dir/storage_backend.cpp.o"
+  "CMakeFiles/storage_backend.dir/storage_backend.cpp.o.d"
+  "storage_backend"
+  "storage_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/rp.cc" "src/CMakeFiles/dcqcn.dir/core/rp.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/core/rp.cc.o.d"
+  "/root/repo/src/core/thresholds.cc" "src/CMakeFiles/dcqcn.dir/core/thresholds.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/core/thresholds.cc.o.d"
+  "/root/repo/src/fluid/fluid_model.cc" "src/CMakeFiles/dcqcn.dir/fluid/fluid_model.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/fluid/fluid_model.cc.o.d"
+  "/root/repo/src/fluid/stability.cc" "src/CMakeFiles/dcqcn.dir/fluid/stability.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/fluid/stability.cc.o.d"
+  "/root/repo/src/fluid/sweep.cc" "src/CMakeFiles/dcqcn.dir/fluid/sweep.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/fluid/sweep.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/dcqcn.dir/net/link.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/net/link.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/dcqcn.dir/net/network.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/net/network.cc.o.d"
+  "/root/repo/src/net/switch.cc" "src/CMakeFiles/dcqcn.dir/net/switch.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/net/switch.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/dcqcn.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/net/topology.cc.o.d"
+  "/root/repo/src/nic/rdma_nic.cc" "src/CMakeFiles/dcqcn.dir/nic/rdma_nic.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/nic/rdma_nic.cc.o.d"
+  "/root/repo/src/nic/sender_qp.cc" "src/CMakeFiles/dcqcn.dir/nic/sender_qp.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/nic/sender_qp.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/dcqcn.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/stats/stats.cc.o.d"
+  "/root/repo/src/trace/arrivals.cc" "src/CMakeFiles/dcqcn.dir/trace/arrivals.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/trace/arrivals.cc.o.d"
+  "/root/repo/src/trace/distributions.cc" "src/CMakeFiles/dcqcn.dir/trace/distributions.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/trace/distributions.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/CMakeFiles/dcqcn.dir/trace/workload.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/trace/workload.cc.o.d"
+  "/root/repo/src/transport/host_model.cc" "src/CMakeFiles/dcqcn.dir/transport/host_model.cc.o" "gcc" "src/CMakeFiles/dcqcn.dir/transport/host_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

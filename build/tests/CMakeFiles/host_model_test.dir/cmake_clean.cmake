@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_model_test.dir/host_model_test.cc.o"
+  "CMakeFiles/host_model_test.dir/host_model_test.cc.o.d"
+  "host_model_test"
+  "host_model_test.pdb"
+  "host_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

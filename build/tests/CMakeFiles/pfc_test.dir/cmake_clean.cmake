@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfc_test.dir/pfc_test.cc.o"
+  "CMakeFiles/pfc_test.dir/pfc_test.cc.o.d"
+  "pfc_test"
+  "pfc_test.pdb"
+  "pfc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

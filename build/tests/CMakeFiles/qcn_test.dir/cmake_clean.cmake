@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcn_test.dir/qcn_test.cc.o"
+  "CMakeFiles/qcn_test.dir/qcn_test.cc.o.d"
+  "qcn_test"
+  "qcn_test.pdb"
+  "qcn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

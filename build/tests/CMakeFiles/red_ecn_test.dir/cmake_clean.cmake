@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/red_ecn_test.dir/red_ecn_test.cc.o"
+  "CMakeFiles/red_ecn_test.dir/red_ecn_test.cc.o.d"
+  "red_ecn_test"
+  "red_ecn_test.pdb"
+  "red_ecn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/red_ecn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_test.dir/rp_test.cc.o"
+  "CMakeFiles/rp_test.dir/rp_test.cc.o.d"
+  "rp_test"
+  "rp_test.pdb"
+  "rp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

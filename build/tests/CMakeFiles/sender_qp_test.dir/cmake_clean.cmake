@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sender_qp_test.dir/sender_qp_test.cc.o"
+  "CMakeFiles/sender_qp_test.dir/sender_qp_test.cc.o.d"
+  "sender_qp_test"
+  "sender_qp_test.pdb"
+  "sender_qp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sender_qp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

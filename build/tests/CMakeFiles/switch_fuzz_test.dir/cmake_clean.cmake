@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_fuzz_test.dir/switch_fuzz_test.cc.o"
+  "CMakeFiles/switch_fuzz_test.dir/switch_fuzz_test.cc.o.d"
+  "switch_fuzz_test"
+  "switch_fuzz_test.pdb"
+  "switch_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

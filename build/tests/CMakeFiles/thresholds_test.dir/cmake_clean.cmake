@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thresholds_test.dir/thresholds_test.cc.o"
+  "CMakeFiles/thresholds_test.dir/thresholds_test.cc.o.d"
+  "thresholds_test"
+  "thresholds_test.pdb"
+  "thresholds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thresholds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/units_test[1]_include.cmake")
+include("/root/repo/build/tests/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/red_ecn_test[1]_include.cmake")
+include("/root/repo/build/tests/thresholds_test[1]_include.cmake")
+include("/root/repo/build/tests/rp_test[1]_include.cmake")
+include("/root/repo/build/tests/np_test[1]_include.cmake")
+include("/root/repo/build/tests/link_test[1]_include.cmake")
+include("/root/repo/build/tests/switch_test[1]_include.cmake")
+include("/root/repo/build/tests/nic_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/host_model_test[1]_include.cmake")
+include("/root/repo/build/tests/fluid_test[1]_include.cmake")
+include("/root/repo/build/tests/distributions_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/sender_qp_test[1]_include.cmake")
+include("/root/repo/build/tests/pfc_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/dctcp_test[1]_include.cmake")
+include("/root/repo/build/tests/fluid_property_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/arrivals_test[1]_include.cmake")
+include("/root/repo/build/tests/qcn_test[1]_include.cmake")
+include("/root/repo/build/tests/stability_test[1]_include.cmake")
+include("/root/repo/build/tests/timely_test[1]_include.cmake")
+include("/root/repo/build/tests/switch_fuzz_test[1]_include.cmake")
