@@ -7,42 +7,103 @@
 // decays. It maps the stability region over (g, N) and over the feedback
 // delay, giving the control-theoretic backing for the paper's g = 1/256
 // and 50 us choices.
+//
+// Every probe is an independent trial on the parallel experiment runner:
+// `--jobs N` to parallelize, `--seed` / `--json` / `--csv` per README.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "fluid/stability.h"
+#include "runner/runner.h"
 
 using namespace dcqcn;
 
-int main() {
-  std::printf("Extension: fixed-point stability of the DCQCN fluid model\n");
-  std::printf("(envelope rate in 1/s; negative = perturbations decay)\n\n");
+namespace {
 
-  std::printf("stability over (g, N):\n%10s", "g \\ N");
+runner::TrialSpec StabilityTrial(std::string name, const FluidParams& params) {
+  runner::TrialSpec spec;
+  spec.name = std::move(name);
+  spec.run = [params](const runner::TrialContext&) {
+    const StabilityResult s = ProbeStability(params);
+    runner::TrialResult r;
+    r.counters["stable"] = s.stable ? 1 : 0;
+    r.metrics["envelope_rate_per_s"] = s.envelope_rate;
+    r.metrics["peak_deviation"] = s.peak_deviation;
+    return r;
+  };
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const runner::CliOptions cli = runner::ParseCli(argc, argv);
+  if (!cli.ok) {
+    std::fprintf(stderr, "%s\n", cli.error.c_str());
+    return 1;
+  }
+
+  // Matrix: the (g, N) grid followed by the feedback-delay sweep.
+  const double gdens[] = {4.0, 16.0, 64.0, 256.0, 1024.0};
   const int ns[] = {2, 4, 8, 16};
-  for (int n : ns) std::printf(" %14d", n);
-  std::printf("\n");
-  for (double gden : {4.0, 16.0, 64.0, 256.0, 1024.0}) {
-    std::printf("    1/%-4.0f", gden);
+  const double tau_mults[] = {0.5, 1.0, 2.0, 4.0, 8.0};
+
+  std::vector<runner::TrialSpec> matrix;
+  for (double gden : gdens) {
     for (int n : ns) {
       FluidParams p =
           FluidParams::FromDcqcn(DcqcnParams::Deployment(), Gbps(40), n);
       p.g = 1.0 / gden;
-      const StabilityResult r = ProbeStability(p);
-      std::printf(" %8.1f %-5s", r.envelope_rate,
-                  r.stable ? "ok" : "OSC");
+      char name[64];
+      std::snprintf(name, sizeof(name), "g1over%.0f_n%d", gden, n);
+      matrix.push_back(StabilityTrial(name, p));
+    }
+  }
+  const size_t grid_cells = matrix.size();
+  for (double mult : tau_mults) {
+    FluidParams p =
+        FluidParams::FromDcqcn(DcqcnParams::Deployment(), Gbps(40), 2);
+    p.tau_star *= mult;
+    char name[64];
+    std::snprintf(name, sizeof(name), "tau_x%.1f", mult);
+    matrix.push_back(StabilityTrial(name, p));
+  }
+
+  runner::RunnerOptions opt;
+  opt.jobs = cli.jobs;
+  opt.base_seed = cli.seed;
+  const std::vector<runner::TrialResult> results =
+      runner::RunTrials(matrix, opt);
+
+  std::printf("Extension: fixed-point stability of the DCQCN fluid model "
+              "(jobs=%d)\n", cli.jobs);
+  std::printf("(envelope rate in 1/s; negative = perturbations decay)\n\n");
+
+  std::printf("stability over (g, N):\n%10s", "g \\ N");
+  for (int n : ns) std::printf(" %14d", n);
+  std::printf("\n");
+  size_t idx = 0;
+  for (double gden : gdens) {
+    std::printf("    1/%-4.0f", gden);
+    for (int n : ns) {
+      (void)n;
+      const runner::TrialResult& r = results[idx++];
+      std::printf(" %8.1f %-5s", r.metrics.at("envelope_rate_per_s"),
+                  r.counters.at("stable") ? "ok" : "OSC");
     }
     std::printf("\n");
   }
 
   std::printf("\nstability over feedback delay (2 flows, g = 1/256):\n");
   std::printf("%12s %14s %10s\n", "tau* (us)", "envelope rate", "verdict");
-  for (double mult : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+  for (size_t i = 0; i < 5; ++i) {
     FluidParams p =
         FluidParams::FromDcqcn(DcqcnParams::Deployment(), Gbps(40), 2);
-    p.tau_star *= mult;
-    const StabilityResult r = ProbeStability(p);
-    std::printf("%12.0f %14.1f %10s\n", p.tau_star * 1e6, r.envelope_rate,
-                r.stable ? "stable" : "UNSTABLE");
+    const runner::TrialResult& r = results[grid_cells + i];
+    std::printf("%12.0f %14.1f %10s\n", p.tau_star * tau_mults[i] * 1e6,
+                r.metrics.at("envelope_rate_per_s"),
+                r.counters.at("stable") ? "stable" : "UNSTABLE");
   }
 
   std::printf(
@@ -50,5 +111,6 @@ int main() {
       "incast degrees; g = 1/16 (the QCN default) loses stability by 8 "
       "flows — the analytic counterpart of Fig. 12 — and stability demands "
       "the control delay stay near the 50 us CNP interval.\n");
-  return 0;
+
+  return runner::WriteRequestedOutputs(cli, results) ? 0 : 1;
 }

@@ -7,7 +7,9 @@
 #include "core/red_ecn.h"
 #include "core/rp.h"
 #include "fluid/fluid_model.h"
+#include "fluid/sweep.h"
 #include "net/topology.h"
+#include "runner/runner.h"
 #include "sim/event_queue.h"
 
 namespace dcqcn {
@@ -102,6 +104,32 @@ void BM_SimulatedIncastMillisecond(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SimulatedIncastMillisecond)->Arg(2)->Arg(8);
+
+void BM_RunnerFluidSweep(benchmark::State& state) {
+  // Serial-vs-parallel throughput of the experiment runner on a 16-trial
+  // fluid-model sweep (the Fig. 12-style matrix). Arg = --jobs; real time
+  // so the wall-clock speedup of the work-stealing pool is what's measured.
+  // On an M-core machine jobs=M should approach M-fold items/sec vs jobs=1.
+  const int jobs = static_cast<int>(state.range(0));
+  std::vector<runner::TrialSpec> matrix;
+  for (int i = 0; i < 16; ++i) {
+    const int n = 2 + (i % 4) * 4;  // incast degrees 2, 6, 10, 14
+    FluidParams p =
+        FluidParams::FromDcqcn(DcqcnParams::Deployment(), Gbps(40), n);
+    p.g = 1.0 / (16.0 * (1 << (i % 3)));
+    matrix.push_back(IncastQueueTrial("cell" + std::to_string(i), p, n,
+                                      /*sim_seconds=*/0.02));
+  }
+  runner::RunnerOptions opt;
+  opt.jobs = jobs;
+  for (auto _ : state) {
+    auto results = runner::RunTrials(matrix, opt);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(matrix.size()));
+}
+BENCHMARK(BM_RunnerFluidSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 }  // namespace dcqcn

@@ -58,4 +58,46 @@ TimeSeries IncastQueueSeries(const FluidParams& params, int n,
   return series;
 }
 
+runner::TrialSpec IncastQueueTrial(std::string name, const FluidParams& params,
+                                   int n, double sim_seconds,
+                                   double sample_period, Time tail_from) {
+  runner::TrialSpec spec;
+  spec.name = std::move(name);
+  spec.run = [params, n, sim_seconds, sample_period,
+              tail_from](const runner::TrialContext&) {
+    runner::TrialResult r;
+    TimeSeries q = IncastQueueSeries(params, n, sim_seconds, sample_period);
+    const TailStats tail = TailOver(q, tail_from);
+    r.metrics["tail_mean_bytes"] = tail.mean;
+    r.metrics["tail_stddev_bytes"] = tail.stddev;
+    r.metrics["tail_min_bytes"] = tail.min;
+    r.metrics["tail_max_bytes"] = tail.max;
+    r.counters["tail_samples"] = static_cast<int64_t>(tail.count);
+    r.series["queue_bytes"] = std::move(q);
+    return r;
+  };
+  return spec;
+}
+
+runner::TrialSpec TwoFlowConvergenceTrial(std::string name,
+                                          const FluidParams& params,
+                                          double sim_seconds,
+                                          double measure_from,
+                                          double sample_period) {
+  runner::TrialSpec spec;
+  spec.name = std::move(name);
+  spec.run = [params, sim_seconds, measure_from,
+              sample_period](const runner::TrialContext&) {
+    runner::TrialResult r;
+    ConvergenceResult c =
+        TwoFlowConvergence(params, sim_seconds, measure_from, sample_period);
+    r.metrics["mean_abs_diff_gbps"] = c.mean_abs_diff_gbps;
+    r.metrics["final_abs_diff_gbps"] = c.final_abs_diff_gbps;
+    r.metrics["mean_queue_bytes"] = c.mean_queue_bytes;
+    r.series["abs_diff_gbps"] = std::move(c.diff_series);
+    return r;
+  };
+  return spec;
+}
+
 }  // namespace dcqcn

@@ -1,9 +1,11 @@
 // Parameter-sweep drivers over the fluid model (§5.2, Figs. 11 and 12).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "fluid/fluid_model.h"
+#include "runner/runner.h"
 #include "stats/stats.h"
 
 namespace dcqcn {
@@ -30,5 +32,30 @@ ConvergenceResult TwoFlowConvergence(const FluidParams& params,
 TimeSeries IncastQueueSeries(const FluidParams& params, int n,
                              double sim_seconds = 0.1,
                              double sample_period = 0.5e-3);
+
+// ---------- runner adapters ----------
+//
+// Each sweep cell packaged as an independent trial for the parallel
+// experiment runner (runner/runner.h). The fluid model is deterministic
+// (no Rng), so these trials are pure functions of their parameters; the
+// runner still stamps each result with its derived seed for uniform
+// serialization.
+
+// Fig. 12 cell: N:1 incast queue trace. Result carries the queue series
+// ("queue_bytes") plus tail moments over [tail_from, end) as metrics
+// ("tail_mean_bytes", "tail_stddev_bytes", "tail_min_bytes",
+// "tail_max_bytes").
+runner::TrialSpec IncastQueueTrial(std::string name, const FluidParams& params,
+                                   int n, double sim_seconds = 0.1,
+                                   double sample_period = 0.5e-3,
+                                   Time tail_from = Milliseconds(50));
+
+// Fig. 11 cell: two-flow convergence. Result carries the |R1-R2| series
+// ("abs_diff_gbps") and the ConvergenceResult scalars as metrics.
+runner::TrialSpec TwoFlowConvergenceTrial(std::string name,
+                                          const FluidParams& params,
+                                          double sim_seconds = 0.2,
+                                          double measure_from = 0.1,
+                                          double sample_period = 1e-3);
 
 }  // namespace dcqcn

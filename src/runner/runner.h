@@ -1,0 +1,101 @@
+// Deterministic parallel experiment runner.
+//
+// Every paper figure is a matrix of independent simulation trials (a
+// parameter sweep × seeds). Each trial owns a private EventQueue + Rng, so
+// trials are embarrassingly parallel — no simulator code needs locking. The
+// runner executes a declarative matrix of TrialSpecs on a work-stealing
+// thread pool and collects structured TrialResults in *submission order*
+// regardless of completion order, which is what makes `--jobs 8` bit-identical
+// to the serial `--jobs 1` fallback.
+//
+// Determinism contract:
+//  * A trial must derive all randomness from TrialContext::seed (splitmix64
+//    over {base_seed, trial_index}; see DeriveTrialSeed) and must not touch
+//    global mutable state.
+//  * Results land in a pre-sized vector slot per trial index; serialized
+//    output (see serialize.h) orders every map key lexicographically, so the
+//    bytes written depend only on {matrix, base_seed}, never on thread
+//    interleaving or job count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/stats.h"
+
+namespace dcqcn {
+namespace runner {
+
+// splitmix64 of {base_seed, trial_index}: statistically independent streams
+// for every trial even when base seeds are small consecutive integers.
+// Never returns 0 (mt19937_64 treats a 0 seed specially).
+uint64_t DeriveTrialSeed(uint64_t base_seed, uint64_t trial_index);
+
+// Handed to every trial body at execution time.
+struct TrialContext {
+  uint64_t base_seed = 0;   // the matrix-wide --seed
+  size_t trial_index = 0;   // position in the submitted matrix
+  uint64_t seed = 0;        // DeriveTrialSeed(base_seed, trial_index)
+};
+
+// Structured output of one trial. All maps are std::map so iteration (and
+// therefore serialization) order is deterministic.
+struct TrialResult {
+  std::string name;                          // defaults to TrialSpec::name
+  size_t trial_index = 0;                    // filled in by the runner
+  uint64_t seed = 0;                         // filled in by the runner
+  std::map<std::string, int64_t> counters;   // e.g. switch counters, CNPs
+  std::map<std::string, double> metrics;     // scalar measurements
+  std::map<std::string, Summary> summaries;  // distribution summaries
+  std::map<std::string, TimeSeries> series;  // sampled traces
+};
+
+// One cell of the experiment matrix: a factory closure that builds and runs
+// a private simulation from the per-trial seed.
+struct TrialSpec {
+  std::string name;
+  std::function<TrialResult(const TrialContext&)> run;
+};
+
+struct RunnerOptions {
+  // Worker threads. 1 = run inline on the calling thread (the serial
+  // fallback the determinism tests compare against); >1 = work-stealing
+  // pool of that many threads.
+  int jobs = 1;
+  uint64_t base_seed = 1;
+};
+
+// Executes the matrix and returns results indexed by submission order.
+// A trial that throws aborts the run by rethrowing on the calling thread.
+std::vector<TrialResult> RunTrials(const std::vector<TrialSpec>& matrix,
+                                   const RunnerOptions& options);
+
+// ---------- bench-harness CLI ----------
+//
+// Shared flag parsing for the sweep benches:
+//   --jobs N     worker threads (default 1)
+//   --seed S     matrix base seed (default 1)
+//   --json PATH  write results as JSON (see serialize.h for the schema)
+//   --csv PATH   write scalar results as CSV
+// Both `--flag value` and `--flag=value` are accepted.
+struct CliOptions {
+  int jobs = 1;
+  uint64_t seed = 1;
+  std::string json_path;  // empty = don't write
+  std::string csv_path;   // empty = don't write
+  bool ok = true;
+  std::string error;  // set when !ok
+};
+
+CliOptions ParseCli(int argc, char** argv);
+
+// Applies --json / --csv from `cli` to `results` (no-op for empty paths).
+// Returns false and prints to stderr on I/O failure.
+bool WriteRequestedOutputs(const CliOptions& cli,
+                           const std::vector<TrialResult>& results);
+
+}  // namespace runner
+}  // namespace dcqcn

@@ -1,0 +1,209 @@
+#include "runner/serialize.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+namespace dcqcn {
+namespace runner {
+
+namespace {
+
+// %.17g round-trips every finite double; the shortest fixed format that is
+// also platform-stable for identical bit patterns.
+void AppendDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void AppendInt(std::string& out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void AppendUint(std::string& out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+// Minimal JSON string escaping: the result names we generate are plain
+// ASCII, but quote/backslash/control bytes must never corrupt the stream.
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendSummary(std::string& out, const Summary& s) {
+  out += "{\"min\":";
+  AppendDouble(out, s.min);
+  out += ",\"p10\":";
+  AppendDouble(out, s.p10);
+  out += ",\"p25\":";
+  AppendDouble(out, s.p25);
+  out += ",\"median\":";
+  AppendDouble(out, s.median);
+  out += ",\"p75\":";
+  AppendDouble(out, s.p75);
+  out += ",\"p90\":";
+  AppendDouble(out, s.p90);
+  out += ",\"max\":";
+  AppendDouble(out, s.max);
+  out += ",\"mean\":";
+  AppendDouble(out, s.mean);
+  out += ",\"count\":";
+  AppendUint(out, s.count);
+  out += '}';
+}
+
+}  // namespace
+
+std::string ResultsToJson(const std::vector<TrialResult>& results) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"trials\":[";
+  bool first_trial = true;
+  for (const TrialResult& r : results) {
+    if (!first_trial) out += ',';
+    first_trial = false;
+    out += "{\"name\":";
+    AppendJsonString(out, r.name);
+    out += ",\"index\":";
+    AppendUint(out, r.trial_index);
+    out += ",\"seed\":";
+    AppendUint(out, r.seed);
+
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [k, v] : r.counters) {
+      if (!first) out += ',';
+      first = false;
+      AppendJsonString(out, k);
+      out += ':';
+      AppendInt(out, v);
+    }
+    out += "},\"metrics\":{";
+    first = true;
+    for (const auto& [k, v] : r.metrics) {
+      if (!first) out += ',';
+      first = false;
+      AppendJsonString(out, k);
+      out += ':';
+      AppendDouble(out, v);
+    }
+    out += "},\"summaries\":{";
+    first = true;
+    for (const auto& [k, v] : r.summaries) {
+      if (!first) out += ',';
+      first = false;
+      AppendJsonString(out, k);
+      out += ':';
+      AppendSummary(out, v);
+    }
+    out += "},\"series\":{";
+    first = true;
+    for (const auto& [k, ts] : r.series) {
+      if (!first) out += ',';
+      first = false;
+      AppendJsonString(out, k);
+      out += ":[";
+      bool first_pt = true;
+      for (const auto& [t, v] : ts.points) {
+        if (!first_pt) out += ',';
+        first_pt = false;
+        out += '[';
+        AppendInt(out, t);
+        out += ',';
+        AppendDouble(out, v);
+        out += ']';
+      }
+      out += ']';
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ResultsToCsv(const std::vector<TrialResult>& results) {
+  // Header: fixed columns + the sorted union of counter/metric keys across
+  // all trials (so every row has the same shape).
+  std::set<std::string> counter_keys, metric_keys;
+  for (const TrialResult& r : results) {
+    for (const auto& [k, v] : r.counters) {
+      (void)v;
+      counter_keys.insert(k);
+    }
+    for (const auto& [k, v] : r.metrics) {
+      (void)v;
+      metric_keys.insert(k);
+    }
+  }
+
+  auto csv_field = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (const char c : s) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+
+  std::string out = "name,index,seed";
+  for (const std::string& k : counter_keys) out += ',' + csv_field(k);
+  for (const std::string& k : metric_keys) out += ',' + csv_field(k);
+  out += '\n';
+
+  for (const TrialResult& r : results) {
+    out += csv_field(r.name);
+    out += ',';
+    AppendUint(out, r.trial_index);
+    out += ',';
+    AppendUint(out, r.seed);
+    for (const std::string& k : counter_keys) {
+      out += ',';
+      if (auto it = r.counters.find(k); it != r.counters.end()) {
+        AppendInt(out, it->second);
+      }
+    }
+    for (const std::string& k : metric_keys) {
+      out += ',';
+      if (auto it = r.metrics.find(k); it != r.metrics.end()) {
+        AppendDouble(out, it->second);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = (std::fclose(f) == 0) && written == content.size();
+  return ok;
+}
+
+}  // namespace runner
+}  // namespace dcqcn

@@ -1,0 +1,44 @@
+// Deterministic serialization of TrialResults for the bench harness.
+//
+// The byte output is a pure function of the result vector: map keys are
+// already lexicographically ordered (std::map), doubles print with %.17g
+// (round-trip exact), and trials appear in submission order. The determinism
+// regression test compares these bytes across jobs=1 and jobs=8 runs.
+//
+// JSON schema:
+//   {
+//     "trials": [
+//       {
+//         "name": "...", "index": 0, "seed": 123,
+//         "counters":  {"key": 42, ...},
+//         "metrics":   {"key": 1.5, ...},
+//         "summaries": {"key": {"min":..,"p10":..,"p25":..,"median":..,
+//                               "p75":..,"p90":..,"max":..,"mean":..,
+//                               "count":..}, ...},
+//         "series":    {"key": [[t_ps, value], ...], ...}
+//       }, ...
+//     ]
+//   }
+//
+// CSV: one row per trial; columns = name,index,seed + the union of all
+// counter and metric keys (sorted); absent cells are empty. TimeSeries and
+// summaries are JSON-only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runner/runner.h"
+
+namespace dcqcn {
+namespace runner {
+
+std::string ResultsToJson(const std::vector<TrialResult>& results);
+std::string ResultsToCsv(const std::vector<TrialResult>& results);
+
+// Writes `content` to `path` atomically enough for bench output (truncate +
+// write). Returns false on any I/O error.
+bool WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace runner
+}  // namespace dcqcn

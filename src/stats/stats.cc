@@ -99,6 +99,26 @@ double TimeSeries::MaxOver(Time from, Time to) const {
   return best;
 }
 
+TailStats TailOver(const TimeSeries& series, Time from) {
+  TailStats s;
+  bool first = true;
+  for (const auto& [t, v] : series.points) {
+    if (t < from) continue;
+    s.mean += v;
+    s.max = first ? v : std::max(s.max, v);
+    s.min = first ? v : std::min(s.min, v);
+    first = false;
+    ++s.count;
+  }
+  if (s.count == 0) return s;  // all-zero, not NaN
+  s.mean /= static_cast<double>(s.count);
+  for (const auto& [t, v] : series.points) {
+    if (t >= from) s.stddev += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = std::sqrt(s.stddev / static_cast<double>(s.count));
+  return s;
+}
+
 std::string FormatGbps(double gbps) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%7.2f", gbps);

@@ -53,6 +53,16 @@ struct TimeSeries {
   double MaxOver(Time from, Time to) const;
 };
 
+// Moments of a time series' settled tail (t >= from) — what the Fig. 12
+// queue-stability tables report. An empty window yields count == 0 and all
+// fields zero (never NaN).
+struct TailStats {
+  double mean = 0, stddev = 0, max = 0, min = 0;
+  size_t count = 0;
+};
+
+TailStats TailOver(const TimeSeries& series, Time from);
+
 // Fixed-width table printing for bench output.
 std::string FormatGbps(double gbps);
 

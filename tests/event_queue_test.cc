@@ -128,6 +128,109 @@ TEST(EventQueue, CancelledHeadDoesNotBlockLaterEvents) {
   EXPECT_EQ(eq.Now(), 2);
 }
 
+// --- tombstone cancellation under heavy churn ---
+// The parallel experiment runner's determinism rests on each trial's private
+// EventQueue behaving identically under any schedule/cancel interleaving;
+// these tests stress the tombstone path the simple cases never reach.
+
+TEST(EventQueue, HeavyChurnCancelWhilePending) {
+  // Schedule thousands of events, cancel every third one (some at the heap
+  // top, some buried), and verify exactly the survivors run, in order.
+  EventQueue eq;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  const int kN = 3000;
+  for (int i = 0; i < kN; ++i) {
+    // Deterministic scrambled times with many ties.
+    const Time at = Nanoseconds((i * 7919) % 257);
+    handles.push_back(eq.ScheduleAt(at, [&fired, i] { fired.push_back(i); }));
+  }
+  int cancelled = 0;
+  for (int i = 0; i < kN; i += 3) {
+    EXPECT_TRUE(eq.Cancel(handles[static_cast<size_t>(i)]));
+    ++cancelled;
+  }
+  EXPECT_EQ(eq.PendingEvents(), static_cast<size_t>(kN - cancelled));
+  EXPECT_EQ(eq.RunAll(), static_cast<uint64_t>(kN - cancelled));
+  EXPECT_EQ(fired.size(), static_cast<size_t>(kN - cancelled));
+  for (int i : fired) EXPECT_NE(i % 3, 0);
+  // Double-cancel after the drain: every handle is now stale.
+  for (const EventHandle& h : handles) EXPECT_FALSE(eq.Cancel(h));
+}
+
+TEST(EventQueue, CancelFromInsideCallbacks) {
+  // Events cancelling later events mid-run: the tombstone must apply even
+  // when the target is already at the heap top.
+  EventQueue eq;
+  int ran = 0;
+  std::vector<EventHandle> victims;
+  for (int i = 0; i < 100; ++i) {
+    victims.push_back(
+        eq.ScheduleAt(Nanoseconds(100 + i), [&ran] { ++ran; }));
+  }
+  eq.ScheduleAt(Nanoseconds(1), [&] {
+    for (int i = 0; i < 100; i += 2) {
+      EXPECT_TRUE(eq.Cancel(victims[static_cast<size_t>(i)]));
+    }
+  });
+  eq.RunAll();
+  EXPECT_EQ(ran, 50);
+}
+
+TEST(EventQueue, CancelAfterFireUnderChurnNeverHitsLaterEvents) {
+  // Handle "reuse" hazard: a stale handle (its event fired long ago) must
+  // stay dead no matter how many new events are scheduled afterwards — ids
+  // are never recycled, so the stale cancel can't kill a newcomer.
+  EventQueue eq;
+  EventHandle stale = eq.ScheduleAt(Nanoseconds(1), [] {});
+  EXPECT_TRUE(eq.RunOne());
+  for (int round = 0; round < 50; ++round) {
+    bool ran = false;
+    EventHandle fresh =
+        eq.ScheduleAt(eq.Now() + Nanoseconds(1), [&ran] { ran = true; });
+    EXPECT_FALSE(eq.Cancel(stale));  // stale forever
+    eq.RunAll();
+    EXPECT_TRUE(ran);
+    stale = fresh;  // fresh has now fired: becomes the next stale handle
+    EXPECT_FALSE(eq.Cancel(stale));
+  }
+}
+
+TEST(EventQueue, RescheduleAfterCancelPattern) {
+  // The NIC timer idiom: cancel-then-rearm in a loop, with the cancelled
+  // tombstones accumulating ahead of live events at identical timestamps.
+  EventQueue eq;
+  int fired = 0;
+  EventHandle h;
+  for (int i = 0; i < 1000; ++i) {
+    if (h.valid()) eq.Cancel(h);
+    h = eq.ScheduleAt(Nanoseconds(10), [&fired] { ++fired; });
+  }
+  EXPECT_EQ(eq.PendingEvents(), 1u);
+  eq.RunAll();
+  EXPECT_EQ(fired, 1);  // only the last armed timer runs
+  EXPECT_EQ(eq.Now(), Nanoseconds(10));
+}
+
+TEST(EventQueue, CancelEverythingLeavesCleanQueue) {
+  EventQueue eq;
+  std::vector<EventHandle> hs;
+  for (int i = 0; i < 500; ++i) {
+    hs.push_back(eq.ScheduleAt(Nanoseconds(i), [] {
+      FAIL() << "cancelled event ran";
+    }));
+  }
+  for (const EventHandle& h : hs) EXPECT_TRUE(eq.Cancel(h));
+  EXPECT_TRUE(eq.Empty());
+  EXPECT_EQ(eq.RunAll(), 0u);
+  EXPECT_EQ(eq.Now(), 0);  // nothing ran, clock never moved
+  // The queue stays usable after a full tombstone purge.
+  bool ran = false;
+  eq.ScheduleAt(Nanoseconds(5), [&ran] { ran = true; });
+  eq.RunAll();
+  EXPECT_TRUE(ran);
+}
+
 TEST(EventQueue, ClockMonotoneAcrossManyRandomEvents) {
   EventQueue eq;
   Time last = -1;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace dcqcn {
 namespace {
 
@@ -99,6 +101,47 @@ TEST(TimeSeries, MeanAndMaxOverWindow) {
   EXPECT_DOUBLE_EQ(ts.MeanOver(0, Milliseconds(10)), 20.0);
   EXPECT_DOUBLE_EQ(ts.MaxOver(0, Milliseconds(10)), 30.0);
   EXPECT_DOUBLE_EQ(ts.MeanOver(Milliseconds(5), Milliseconds(6)), 0.0);
+}
+
+TEST(TailStats, MomentsOverSettledTail) {
+  TimeSeries ts;
+  ts.Add(Milliseconds(1), 100);  // before the window, ignored
+  ts.Add(Milliseconds(10), 10);
+  ts.Add(Milliseconds(11), 20);
+  ts.Add(Milliseconds(12), 30);
+  const TailStats s = TailOver(ts, Milliseconds(10));
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 20.0);
+  EXPECT_DOUBLE_EQ(s.min, 10.0);
+  EXPECT_DOUBLE_EQ(s.max, 30.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(200.0 / 3.0), 1e-12);
+}
+
+TEST(TailStats, EmptyWindowIsZeroedNotNaN) {
+  // The fig12 bench regression: a measurement window past the last sample
+  // must yield zeros, not a 0/0 NaN mean.
+  TimeSeries ts;
+  ts.Add(Milliseconds(1), 42);
+  const TailStats past = TailOver(ts, Milliseconds(50));
+  EXPECT_EQ(past.count, 0u);
+  EXPECT_EQ(past.mean, 0.0);
+  EXPECT_EQ(past.stddev, 0.0);
+  EXPECT_EQ(past.min, 0.0);
+  EXPECT_EQ(past.max, 0.0);
+
+  const TailStats empty = TailOver(TimeSeries{}, 0);
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.mean, 0.0);
+}
+
+TEST(TailStats, NegativeValuesKeepMinMaxHonest) {
+  // min/max initialize from the first in-window sample, not from sentinels.
+  TimeSeries ts;
+  ts.Add(Milliseconds(10), -5);
+  ts.Add(Milliseconds(11), -1);
+  const TailStats s = TailOver(ts, 0);
+  EXPECT_DOUBLE_EQ(s.min, -5.0);
+  EXPECT_DOUBLE_EQ(s.max, -1.0);
 }
 
 }  // namespace
