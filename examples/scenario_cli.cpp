@@ -11,6 +11,13 @@
 //     --ms=D                    simulated milliseconds (default 30)
 //     --seed=S                  RNG seed (default 1)
 //     --no-pfc                  disable PFC (lossy fabric)
+//     --storm-host=IDX          babbling NIC: host IDX emits a PAUSE storm
+//     --storm-ms=D              storm duration (default 5, with --storm-host)
+//
+// With --storm-host the run arms a FaultInjector (storm starts at 1/4 of
+// the simulated time) and a PauseStormDetector watchdogging every switch,
+// and the report grows a pause-storm section: alarms raised and per-switch
+// paused-time totals.
 //
 // Prints a one-screen report: goodput distributions, PAUSE/drop counters,
 // and per-switch ECN activity. A compact way to explore the system without
@@ -35,6 +42,8 @@ struct Args {
   int ms = 30;
   uint64_t seed = 1;
   bool pfc = true;
+  int storm_host = -1;  // host index; -1 = no storm
+  int storm_ms = 5;
 };
 
 bool Parse(int argc, char** argv, Args* a) {
@@ -60,6 +69,10 @@ bool Parse(int argc, char** argv, Args* a) {
       a->ms = std::atoi(v);
     } else if (const char* v = val("--seed=")) {
       a->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = val("--storm-host=")) {
+      a->storm_host = std::atoi(v);
+    } else if (const char* v = val("--storm-ms=")) {
+      a->storm_ms = std::atoi(v);
     } else if (s == "--no-pfc") {
       a->pfc = false;
     } else {
@@ -96,6 +109,13 @@ int main(int argc, char** argv) {
   TopologyOptions opt;
   opt.switch_config.pfc_enabled = args.pfc;
   if (!args.pfc) opt.switch_config.lossy_egress_cap = 1 * kMiB;
+  if (args.storm_host >= 0) {
+    // A babbling NIC is only meaningful under real 802.1Qbb quanta
+    // semantics: PAUSE is a lease the storm has to keep refreshing.
+    opt.switch_config.pfc_pause_expiry = Microseconds(840);
+    opt.switch_config.pfc_pause_refresh = Microseconds(200);
+    opt.nic_config.pfc_pause_expiry = Microseconds(840);
+  }
 
   std::vector<RdmaNic*> hosts;
   std::vector<SharedBufferSwitch*> spines;
@@ -129,6 +149,23 @@ int main(int argc, char** argv) {
     poisson->Begin();
   }
 
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<PauseStormDetector> detector;
+  if (args.storm_host >= 0 &&
+      args.storm_host < static_cast<int>(hosts.size())) {
+    FaultPlan plan;
+    plan.Add(PauseStorm(hosts[static_cast<size_t>(args.storm_host)]->id(),
+                        kDataPriority,
+                        static_cast<Time>(args.ms) * kMillisecond / 4,
+                        static_cast<Time>(args.storm_ms) * kMillisecond));
+    injector = std::make_unique<FaultInjector>(&net, plan, args.seed + 7);
+    injector->Arm();
+    detector = std::make_unique<PauseStormDetector>(
+        &net.eq(), PauseStormDetectorConfig{});
+    for (const auto& sw : net.switches()) detector->Watch(sw.get());
+    detector->Start();
+  }
+
   net.RunFor(static_cast<Time>(args.ms) * kMillisecond);
 
   std::printf("scenario: %s, %zu hosts, mode=%s, incast=%d, pairs=%d, "
@@ -153,5 +190,25 @@ int main(int argc, char** argv) {
               static_cast<long long>(spine_pauses),
               static_cast<long long>(marks),
               static_cast<long long>(net.TotalDrops()));
+
+  if (detector) {
+    std::printf("\npause storm (host %d babbling for %d ms):\n",
+                args.storm_host, args.storm_ms);
+    std::printf("  detector alarms: %zu\n", detector->alarms().size());
+    for (const PauseStormDetector::Alarm& a : detector->alarms()) {
+      std::printf("    t=%.2f ms  switch %d port %d prio %d  paused "
+                  "fraction %.2f\n",
+                  static_cast<double>(a.at) /
+                      static_cast<double>(kMillisecond),
+                  a.switch_id, a.port, a.priority, a.fraction);
+    }
+    std::printf("  paused time by switch (ms):");
+    for (const auto& sw : net.switches()) {
+      std::printf("  %d:%.2f", sw->id(),
+                  static_cast<double>(sw->PausedTimeTotalAll()) /
+                      static_cast<double>(kMillisecond));
+    }
+    std::printf("\n");
+  }
   return 0;
 }

@@ -16,6 +16,9 @@
 #include "core/red_ecn.h"
 #include "core/rp.h"
 #include "core/thresholds.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/pause_storm_detector.h"
 #include "fluid/fluid_model.h"
 #include "fluid/sweep.h"
 #include "net/link.h"

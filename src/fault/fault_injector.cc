@@ -1,0 +1,105 @@
+#include "fault/fault_injector.h"
+
+namespace dcqcn {
+
+FaultInjector::FaultInjector(Network* net, FaultPlan plan, uint64_t seed)
+    : net_(net), plan_(std::move(plan)), rng_(seed) {
+  DCQCN_CHECK(net_ != nullptr);
+  plan_.Validate();
+}
+
+Link* FaultInjector::ResolveLink(const FaultSpec& f) const {
+  Link* l = net_->FindLink(f.node_a, f.node_b);
+  DCQCN_CHECK(l != nullptr);  // a dangling target would void the experiment
+  return l;
+}
+
+RdmaNic* FaultInjector::ResolveHost(const FaultSpec& f) const {
+  RdmaNic* nic = net_->host(f.node_a);
+  DCQCN_CHECK(nic != nullptr);
+  return nic;
+}
+
+SharedBufferSwitch* FaultInjector::ResolveSwitch(const FaultSpec& f) const {
+  SharedBufferSwitch* sw = net_->FindSwitch(f.node_a);
+  DCQCN_CHECK(sw != nullptr);
+  return sw;
+}
+
+void FaultInjector::Arm() {
+  DCQCN_CHECK(!armed_);
+  armed_ = true;
+  EventQueue& eq = net_->eq();
+  for (const FaultSpec& f : plan_.faults) {
+    // Resolve now: targeting errors surface at Arm() time, not mid-run.
+    switch (f.kind) {
+      case FaultKind::kLinkFlap:
+      case FaultKind::kPacketLoss:
+      case FaultKind::kCorruption:
+        ResolveLink(f);
+        break;
+      case FaultKind::kPauseStorm:
+      case FaultKind::kSlowReceiver:
+        ResolveHost(f);
+        break;
+      case FaultKind::kBufferShrink:
+        ResolveSwitch(f);
+        break;
+    }
+    DCQCN_CHECK(f.at >= eq.Now());
+    eq.ScheduleAt(f.at, [this, &f] { Begin(f); });
+    if (f.bounded()) {
+      eq.ScheduleAt(f.end(), [this, &f] { End(f); });
+    }
+  }
+}
+
+void FaultInjector::Begin(const FaultSpec& f) {
+  started_++;
+  switch (f.kind) {
+    case FaultKind::kLinkFlap:
+      ResolveLink(f)->SetUp(false);
+      break;
+    case FaultKind::kPacketLoss:
+      ResolveLink(f)->SetLossProfile(f.probability, 0, &rng_);
+      break;
+    case FaultKind::kCorruption:
+      ResolveLink(f)->SetLossProfile(0, f.probability, &rng_);
+      break;
+    case FaultKind::kPauseStorm:
+      ResolveHost(f)->StartPauseStorm(f.priority, f.refresh);
+      break;
+    case FaultKind::kSlowReceiver:
+      ResolveHost(f)->SetControlDelay(f.delay);
+      break;
+    case FaultKind::kBufferShrink:
+      ResolveSwitch(f)->SetSharedBufferOverride(f.buffer_bytes);
+      break;
+  }
+}
+
+void FaultInjector::End(const FaultSpec& f) {
+  healed_++;
+  switch (f.kind) {
+    case FaultKind::kLinkFlap:
+      ResolveLink(f)->SetUp(true);
+      break;
+    case FaultKind::kPacketLoss:
+    case FaultKind::kCorruption:
+      // Overlapping loss faults on one link are last-writer-wins; plans
+      // wanting compound loss should use a single spec per interval.
+      ResolveLink(f)->SetLossProfile(0, 0, nullptr);
+      break;
+    case FaultKind::kPauseStorm:
+      ResolveHost(f)->StopPauseStorm(f.priority);
+      break;
+    case FaultKind::kSlowReceiver:
+      ResolveHost(f)->SetControlDelay(0);
+      break;
+    case FaultKind::kBufferShrink:
+      ResolveSwitch(f)->SetSharedBufferOverride(0);
+      break;
+  }
+}
+
+}  // namespace dcqcn

@@ -1,0 +1,51 @@
+// FaultInjector: executes a FaultPlan against a Network.
+//
+// Arm() resolves every spec's target (links by endpoint ids, NICs/switches
+// by node id — construction aborts via CHECK on a dangling target, since a
+// plan that silently does nothing would invalidate an experiment) and
+// schedules activation/heal callbacks on the network's event queue. All
+// stochastic draws a fault consumes (Bernoulli loss) come from the
+// injector's private Rng, so a {plan, seed} pair replays bit-identically and
+// never perturbs the network's own random stream — the property the
+// runner's jobs=1 ≡ jobs=8 determinism contract depends on.
+//
+// The injector must outlive the simulation run (installed loss profiles
+// point at its Rng).
+#pragma once
+
+#include "common/rng.h"
+#include "fault/fault_plan.h"
+#include "net/network.h"
+
+namespace dcqcn {
+
+class FaultInjector {
+ public:
+  // Validates `plan`; faults are not scheduled until Arm().
+  FaultInjector(Network* net, FaultPlan plan, uint64_t seed);
+
+  // Resolves targets and schedules every fault. Call exactly once, before
+  // running the simulation past the earliest fault time.
+  void Arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  // Faults whose activation / heal callbacks have fired so far.
+  int64_t faults_started() const { return started_; }
+  int64_t faults_healed() const { return healed_; }
+
+ private:
+  void Begin(const FaultSpec& f);
+  void End(const FaultSpec& f);
+  Link* ResolveLink(const FaultSpec& f) const;
+  RdmaNic* ResolveHost(const FaultSpec& f) const;
+  SharedBufferSwitch* ResolveSwitch(const FaultSpec& f) const;
+
+  Network* net_;
+  FaultPlan plan_;
+  Rng rng_;
+  bool armed_ = false;
+  int64_t started_ = 0;
+  int64_t healed_ = 0;
+};
+
+}  // namespace dcqcn

@@ -1,0 +1,115 @@
+// Declarative fault plans.
+//
+// A FaultPlan is a list of time-scheduled FaultSpecs — the unhealthy-network
+// counterpart of a workload description. Plans are plain data: they name
+// targets by node id (links by their two endpoints), carry no pointers, and
+// serialize deterministically, so a plan can ride through the experiment
+// runner's TrialSpec and appear verbatim in JSON/CSV output. Execution is
+// the FaultInjector's job; all randomness a fault consumes (Bernoulli loss
+// draws) comes from the injector's private Rng, keeping trials bit-exact
+// reproducible under the per-trial splitmix64 seeding.
+//
+// The fault classes model the §2/§6 failure modes DCQCN was built to
+// survive: link flaps that kill in-flight frames, BER-style loss and
+// corruption, the "babbling NIC" that continuously emits PAUSE on a priority
+// (the production pause-storm incident class), slow receivers that delay
+// ACK/CNP generation, and runtime shared-buffer shrinkage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "net/packet.h"
+
+namespace dcqcn {
+
+enum class FaultKind : uint8_t {
+  // Link between node_a and node_b goes down at `at`; frames already
+  // propagating are killed, frames transmitted while down are blackholed.
+  // Back up at `at + duration`.
+  kLinkFlap,
+  // Bernoulli per-frame drop with `probability` on the link, both
+  // directions, for [at, at + duration).
+  kPacketLoss,
+  // Bernoulli per-frame corruption: the frame reaches the far end but fails
+  // its FCS and is discarded by the receiving MAC (counted separately from
+  // drops; same recovery path).
+  kCorruption,
+  // "Babbling NIC": host node_a continuously emits PFC PAUSE for `priority`
+  // every `refresh`, pausing its ToR's egress — the incident class §1 of the
+  // paper cites as PFC's storm risk. RESUME is sent when the storm ends.
+  kPauseStorm,
+  // Slow receiver: host node_a delays all control-packet generation
+  // (ACK/NAK/CNP) by `delay` for [at, at + duration).
+  kSlowReceiver,
+  // Switch node_a's shared buffer is capped at `buffer_bytes` (admission and
+  // the B term of the dynamic PFC threshold) for [at, at + duration).
+  kBufferShrink,
+};
+
+// Stable lowercase name used in JSON/CSV output ("link_flap", ...).
+const char* FaultKindName(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLinkFlap;
+  Time at = 0;        // activation time
+  Time duration = 0;  // <= 0: the fault never heals
+
+  int node_a = -1;  // link faults: one endpoint; node faults: the target
+  int node_b = -1;  // link faults: the other endpoint
+
+  int priority = kDataPriority;    // kPauseStorm: paused class
+  Time refresh = Microseconds(5);  // kPauseStorm: re-PAUSE period
+  double probability = 0;          // kPacketLoss / kCorruption
+  Time delay = 0;                  // kSlowReceiver: added control latency
+  Bytes buffer_bytes = 0;          // kBufferShrink: shrunken capacity
+
+  // True if the fault heals on its own (duration > 0).
+  bool bounded() const { return duration > 0; }
+  Time end() const { return at + duration; }
+
+  void Validate() const;
+};
+
+// Convenience constructors, one per kind.
+FaultSpec LinkFlap(int node_a, int node_b, Time at, Time down_for);
+FaultSpec PacketLoss(int node_a, int node_b, Time at, Time duration,
+                     double probability);
+FaultSpec Corruption(int node_a, int node_b, Time at, Time duration,
+                     double probability);
+FaultSpec PauseStorm(int host, int priority, Time at, Time duration,
+                     Time refresh = Microseconds(5));
+FaultSpec SlowReceiver(int host, Time at, Time duration, Time delay);
+FaultSpec BufferShrink(int switch_node, Time at, Time duration, Bytes bytes);
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  bool empty() const { return faults.empty(); }
+  void Add(const FaultSpec& f) { faults.push_back(f); }
+  void Validate() const;
+
+  // Time after which every bounded fault has healed (0 for an empty plan).
+  // Unbounded faults do not contribute — callers gating "all flows finish
+  // once faults heal" must check AllBounded() first.
+  Time LastHealTime() const;
+  bool AllBounded() const;
+
+  // Deterministic JSON array, e.g.
+  //   [{"kind":"link_flap","at":1000000,"duration":500000,
+  //     "node_a":0,"node_b":4}]
+  // Only the fields a kind consumes are emitted.
+  std::string ToJson() const;
+  // Compact single-CSV-cell form: specs joined by ';', fields by ':', e.g.
+  //   "link_flap:0-4:at1000000:dur500000".
+  std::string ToCompactString() const;
+};
+
+// Appends `count` down/up cycles on the (node_a, node_b) link: down at
+// first_at + k*period for `down_for` each. The flap-rate sweeps build on
+// this.
+void AddPeriodicFlaps(FaultPlan* plan, int node_a, int node_b, Time first_at,
+                      Time period, Time down_for, int count);
+
+}  // namespace dcqcn

@@ -1,0 +1,75 @@
+#include "fault/pause_storm_detector.h"
+
+namespace dcqcn {
+
+PauseStormDetector::PauseStormDetector(EventQueue* eq,
+                                       PauseStormDetectorConfig config)
+    : eq_(eq), config_(config) {
+  DCQCN_CHECK(eq_ != nullptr);
+  config_.Validate();
+}
+
+PauseStormDetector::~PauseStormDetector() { Stop(); }
+
+void PauseStormDetector::Watch(const SharedBufferSwitch* sw) {
+  DCQCN_CHECK(sw != nullptr);
+  DCQCN_CHECK(!running_);
+  for (int port = 0; port < sw->num_ports(); ++port) {
+    for (int pr = 0; pr < kNumPriorities; ++pr) {
+      watched_.push_back(WatchedQueue{sw, port, pr, {}, false});
+    }
+  }
+}
+
+void PauseStormDetector::Start() {
+  DCQCN_CHECK(!running_);
+  running_ = true;
+  timer_ = eq_->ScheduleIn(config_.sample_period, [this] { Sample(); });
+}
+
+void PauseStormDetector::Stop() {
+  if (!running_) return;
+  running_ = false;
+  eq_->Cancel(timer_);
+}
+
+bool PauseStormDetector::Flagged(const SharedBufferSwitch* sw, int port,
+                                 int priority) const {
+  for (const WatchedQueue& w : watched_) {
+    if (w.sw == sw && w.port == port && w.priority == priority) {
+      return w.flagged;
+    }
+  }
+  return false;
+}
+
+void PauseStormDetector::Sample() {
+  samples_taken_++;
+  const Time now = eq_->Now();
+  for (WatchedQueue& w : watched_) {
+    const Time cum = w.sw->PausedTimeTotal(w.port, w.priority);
+    w.samples.emplace_back(now, cum);
+    while (!w.samples.empty() && w.samples.front().first < now - config_.window) {
+      w.samples.pop_front();
+    }
+    const Time span = now - w.samples.front().first;
+    // Evaluate only once the window has (nearly) filled; a short history
+    // would turn one pause episode into a spurious 100% fraction.
+    if (span < config_.window - config_.sample_period) continue;
+    const Time paused = cum - w.samples.front().second;
+    const double fraction =
+        static_cast<double>(paused) / static_cast<double>(span);
+    if (fraction >= config_.paused_fraction_threshold) {
+      if (!w.flagged) {
+        w.flagged = true;
+        alarms_.push_back(
+            Alarm{w.sw->id(), w.port, w.priority, now, fraction});
+      }
+    } else {
+      w.flagged = false;
+    }
+  }
+  timer_ = eq_->ScheduleIn(config_.sample_period, [this] { Sample(); });
+}
+
+}  // namespace dcqcn

@@ -1,0 +1,92 @@
+// PauseStormDetector: watchdog that flags (switch, port, priority) queues
+// whose transmission spends too large a fraction of a sliding window paused.
+//
+// This is the monitoring side of the paper's §6 "pause storm" war story: a
+// babbling NIC (or a cascade of congestion-spread PAUSEs) can stall a port
+// indefinitely, and production deployments watchdog exactly this signal —
+// paused-time per window — to fence the offender. The detector samples each
+// watched switch's cumulative PausedTimeTotal(port, priority) on a fixed
+// period, keeps a window of samples, and raises a rising-edge Alarm when
+// paused-time/window exceeds the configured fraction. The flag clears once
+// the fraction falls back below threshold, so a heal is observable too.
+//
+// Sampling runs on the network's event queue and reads counters only, so a
+// detector never perturbs the simulation (determinism-safe).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/units.h"
+#include "net/switch.h"
+#include "sim/event_queue.h"
+
+namespace dcqcn {
+
+struct PauseStormDetectorConfig {
+  // Sliding window the paused fraction is evaluated over.
+  Time window = Milliseconds(10);
+  // Counter sampling period; the window holds window/sample_period samples.
+  Time sample_period = Microseconds(100);
+  // Paused fraction at/above which a queue is flagged.
+  double paused_fraction_threshold = 0.5;
+
+  void Validate() const {
+    DCQCN_CHECK(window > 0);
+    DCQCN_CHECK(sample_period > 0);
+    DCQCN_CHECK(window >= 2 * sample_period);
+    DCQCN_CHECK(paused_fraction_threshold > 0 &&
+                paused_fraction_threshold <= 1.0);
+  }
+};
+
+class PauseStormDetector {
+ public:
+  struct Alarm {
+    int switch_id = -1;
+    int port = -1;
+    int priority = -1;
+    Time at = 0;          // when the rising edge was detected
+    double fraction = 0;  // paused fraction that tripped it
+  };
+
+  PauseStormDetector(EventQueue* eq, PauseStormDetectorConfig config);
+  ~PauseStormDetector();
+
+  // Registers every (port, priority) of `sw` for monitoring. Call before
+  // Start(); the switch must outlive the detector's sampling.
+  void Watch(const SharedBufferSwitch* sw);
+
+  // Begins periodic sampling on the event queue.
+  void Start();
+  // Stops sampling (alarms and flags freeze at their current state).
+  void Stop();
+
+  // Rising-edge alarm log, in detection order.
+  const std::vector<Alarm>& alarms() const { return alarms_; }
+  // Whether this queue is currently flagged as storming.
+  bool Flagged(const SharedBufferSwitch* sw, int port, int priority) const;
+  int64_t samples_taken() const { return samples_taken_; }
+
+ private:
+  struct WatchedQueue {
+    const SharedBufferSwitch* sw = nullptr;
+    int port = -1;
+    int priority = -1;
+    // (sample time, cumulative paused time) pairs, pruned to the window.
+    std::deque<std::pair<Time, Time>> samples;
+    bool flagged = false;
+  };
+
+  void Sample();
+
+  EventQueue* eq_;
+  PauseStormDetectorConfig config_;
+  std::vector<WatchedQueue> watched_;
+  std::vector<Alarm> alarms_;
+  EventHandle timer_;
+  bool running_ = false;
+  int64_t samples_taken_ = 0;
+};
+
+}  // namespace dcqcn

@@ -7,8 +7,14 @@ Link::Link(EventQueue* eq, Node* a, int port_a, Node* b, int port_b, Rate rate,
     : eq_(eq), rate_(rate), propagation_(propagation) {
   DCQCN_CHECK(eq != nullptr && a != nullptr && b != nullptr);
   DCQCN_CHECK(rate > 0 && propagation >= 0);
-  fwd_ = Direction{a, port_a, b, port_b};
-  rev_ = Direction{b, port_b, a, port_a};
+  fwd_.from = a;
+  fwd_.from_port = port_a;
+  fwd_.to = b;
+  fwd_.to_port = port_b;
+  rev_.from = b;
+  rev_.from_port = port_b;
+  rev_.to = a;
+  rev_.to_port = port_a;
   a->AttachLink(port_a, this);
   b->AttachLink(port_b, this);
 }
@@ -27,11 +33,58 @@ void Link::Transmit(Node* from, const Packet& p) {
     d.busy = false;
     d.from->OnTransmitComplete(d.from_port);
   });
+
+  // Fault hooks: a down link, a Bernoulli drop, or a corrupted frame all
+  // mean the far end never acts on the packet. The transmitter still clocks
+  // the frame out (its timing is unaffected) — only delivery is suppressed.
+  if (!up_) {
+    d.lost++;
+    return;
+  }
+  if (fault_rng_ != nullptr) {
+    if (drop_p_ > 0 && fault_rng_->Chance(drop_p_)) {
+      d.lost++;
+      return;
+    }
+    if (corrupt_p_ > 0 && fault_rng_->Chance(corrupt_p_)) {
+      d.corrupted++;
+      return;
+    }
+  }
+
   // Arrival at the far end after propagation (store-and-forward: the whole
-  // frame must be on the wire before the receiver can act on it).
-  eq_->ScheduleIn(ser + propagation_, [&d, p] {
+  // frame must be on the wire before the receiver can act on it). The handle
+  // is retained so a link-down can kill the frame mid-flight.
+  const EventHandle h = eq_->ScheduleIn(ser + propagation_, [this, &d, p] {
+    d.in_flight.pop_front();
     d.to->ReceivePacket(p, d.to_port);
   });
+  d.in_flight.push_back(h);
+}
+
+void Link::SetUp(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  if (!up_) {
+    KillInFlight(fwd_);
+    KillInFlight(rev_);
+  }
+}
+
+void Link::KillInFlight(Direction& d) {
+  for (const EventHandle& h : d.in_flight) {
+    if (eq_->Cancel(h)) d.lost++;
+  }
+  d.in_flight.clear();
+}
+
+void Link::SetLossProfile(double drop_p, double corrupt_p, Rng* rng) {
+  DCQCN_CHECK(drop_p >= 0 && drop_p <= 1);
+  DCQCN_CHECK(corrupt_p >= 0 && corrupt_p <= 1);
+  DCQCN_CHECK((drop_p == 0 && corrupt_p == 0) || rng != nullptr);
+  drop_p_ = drop_p;
+  corrupt_p_ = corrupt_p;
+  fault_rng_ = rng;
 }
 
 }  // namespace dcqcn

@@ -8,6 +8,9 @@
 // be abandoned, which is exactly why switches need headroom buffer.
 #pragma once
 
+#include <deque>
+
+#include "common/rng.h"
 #include "common/units.h"
 #include "net/node.h"
 #include "net/packet.h"
@@ -38,9 +41,37 @@ class Link {
   // The endpoint opposite `n`.
   Node* Peer(const Node* n) const { return dir(n).to; }
 
+  // The two attached endpoints (a is the node passed first at construction).
+  Node* node_a() const { return fwd_.from; }
+  Node* node_b() const { return rev_.from; }
+
+  // --- fault-injection hooks (driven by FaultInjector, src/fault) ---
+
+  // Takes the link down / brings it back up (both directions). Going down
+  // kills every frame still propagating — neither endpoint is told, exactly
+  // like a yanked cable — and frames transmitted while down are blackholed
+  // after serializing normally (the transmitter's MAC keeps clocking; the
+  // simulator's nodes have no link-state awareness, matching NICs that need
+  // go-back-N timeouts to notice).
+  void SetUp(bool up);
+  bool up() const { return up_; }
+
+  // Installs a Bernoulli per-frame loss model on both directions: each frame
+  // is independently dropped with `drop_p`, and a surviving frame is
+  // corrupted with `corrupt_p` (a corrupted frame fails its FCS at the
+  // receiving MAC and is discarded — same outcome, separate counter). Draws
+  // come from `rng`, which must outlive the profile. Pass (0, 0, nullptr)
+  // to clear.
+  void SetLossProfile(double drop_p, double corrupt_p, Rng* rng);
+
   // Total frames / bytes that traversed each direction (telemetry).
   int64_t FramesSent(const Node* from) const { return dir(from).frames; }
   int64_t BytesSent(const Node* from) const { return dir(from).bytes; }
+  // Frames killed by a down link or the loss profile, per direction.
+  int64_t FramesLost(const Node* from) const { return dir(from).lost; }
+  int64_t FramesCorrupted(const Node* from) const {
+    return dir(from).corrupted;
+  }
 
  private:
   struct Direction {
@@ -51,7 +82,15 @@ class Link {
     bool busy = false;
     int64_t frames = 0;
     int64_t bytes = 0;
+    int64_t lost = 0;
+    int64_t corrupted = 0;
+    // Arrival events for frames still propagating, in FIFO arrival order
+    // (serialization is sequential, so arrivals cannot reorder). SetUp(false)
+    // cancels them.
+    std::deque<EventHandle> in_flight;
   };
+
+  void KillInFlight(Direction& d);
 
   const Direction& dir(const Node* from) const {
     DCQCN_CHECK(from == fwd_.from || from == rev_.from);
@@ -65,6 +104,10 @@ class Link {
   EventQueue* eq_;
   Rate rate_;
   Time propagation_;
+  bool up_ = true;
+  double drop_p_ = 0;
+  double corrupt_p_ = 0;
+  Rng* fault_rng_ = nullptr;
   Direction fwd_;
   Direction rev_;
 };

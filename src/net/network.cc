@@ -35,6 +35,24 @@ RdmaNic* Network::host(int node_id) const {
   return nullptr;
 }
 
+SharedBufferSwitch* Network::FindSwitch(int node_id) const {
+  for (const auto& sw : switches_) {
+    if (sw->id() == node_id) return sw.get();
+  }
+  return nullptr;
+}
+
+Link* Network::FindLink(int node_a, int node_b) const {
+  for (const auto& l : links_) {
+    const int a = l->node_a()->id();
+    const int b = l->node_b()->id();
+    if ((a == node_a && b == node_b) || (a == node_b && b == node_a)) {
+      return l.get();
+    }
+  }
+  return nullptr;
+}
+
 Link* Network::Connect(Node* a, int port_a, Node* b, int port_b, Rate rate,
                        Time propagation) {
   auto link = std::make_unique<Link>(&eq_, a, port_a, b, port_b, rate,
@@ -99,6 +117,30 @@ int64_t Network::TotalPauseFramesSent() const {
 int64_t Network::TotalDrops() const {
   int64_t n = 0;
   for (const auto& sw : switches_) n += sw->counters().dropped_packets;
+  return n;
+}
+
+Time Network::TotalPausedTime() const {
+  Time t = 0;
+  for (const auto& sw : switches_) t += sw->PausedTimeTotalAll();
+  return t;
+}
+
+int64_t Network::TotalCnpsSent() const {
+  int64_t n = 0;
+  for (const auto& nic : nics_) n += nic->counters().cnps_sent;
+  return n;
+}
+
+int64_t Network::TotalNaks() const {
+  int64_t n = 0;
+  for (const auto& nic : nics_) n += nic->counters().naks_sent;
+  return n;
+}
+
+int64_t Network::TotalOutOfOrderPackets() const {
+  int64_t n = 0;
+  for (const auto& nic : nics_) n += nic->counters().out_of_order_packets;
   return n;
 }
 

@@ -40,7 +40,14 @@ class Network {
     return switches_;
   }
   const std::vector<std::unique_ptr<RdmaNic>>& hosts() const { return nics_; }
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
   RdmaNic* host(int node_id) const;
+  // The switch with this node id, or nullptr.
+  SharedBufferSwitch* FindSwitch(int node_id) const;
+  // The link connecting the two node ids (in either order), or nullptr.
+  // Fault plans name links this way — endpoint ids are stable under the
+  // deterministic topology builders, unlike construction order indices.
+  Link* FindLink(int node_a, int node_b) const;
 
   // Runs the simulation until `deadline`.
   void RunFor(Time duration) { eq_.RunUntil(eq_.Now() + duration); }
@@ -49,6 +56,14 @@ class Network {
   // Aggregate counters across all switches.
   int64_t TotalPauseFramesSent() const;
   int64_t TotalDrops() const;
+  // Total paused transmission time across every switch (port, priority),
+  // including still-open pause episodes — the Fig. 15-style "how much of the
+  // fabric was stalled" measure fault experiments report.
+  Time TotalPausedTime() const;
+  // Aggregate counters across all NICs.
+  int64_t TotalCnpsSent() const;
+  int64_t TotalNaks() const;
+  int64_t TotalOutOfOrderPackets() const;
 
  private:
   struct Adjacency {

@@ -16,6 +16,10 @@ SharedBufferSwitch::SharedBufferSwitch(EventQueue* eq, Rng* rng, int id,
       headroom_used_(static_cast<size_t>(num_ports)),
       pause_sent_(static_cast<size_t>(num_ports)),
       tx_paused_(static_cast<size_t>(num_ports)),
+      paused_accum_(static_cast<size_t>(num_ports)),
+      paused_since_(static_cast<size_t>(num_ports)),
+      rx_pause_expiry_(static_cast<size_t>(num_ports)),
+      pause_refresh_(static_cast<size_t>(num_ports)),
       qcn_cp_(static_cast<size_t>(num_ports)),
       pfc_out_(static_cast<size_t>(num_ports)),
       in_flight_(static_cast<size_t>(num_ports)) {
@@ -24,18 +28,39 @@ SharedBufferSwitch::SharedBufferSwitch(EventQueue* eq, Rng* rng, int id,
   headroom_ = config_.headroom > 0 ? config_.headroom
                                    : HeadroomPerPortPriority(config_.buffer);
   if (config_.pfc_enabled) {
-    const Bytes reserved = static_cast<Bytes>(config_.buffer.num_priorities) *
-                           config_.buffer.num_ports * headroom_;
-    DCQCN_CHECK(reserved < config_.buffer.total_buffer);
-    shared_capacity_ = config_.buffer.total_buffer - reserved;
+    reserved_headroom_ = static_cast<Bytes>(config_.buffer.num_priorities) *
+                         config_.buffer.num_ports * headroom_;
+    DCQCN_CHECK(reserved_headroom_ < config_.buffer.total_buffer);
   } else {
-    shared_capacity_ = config_.buffer.total_buffer;
+    reserved_headroom_ = 0;
   }
+  shared_capacity_ = config_.buffer.total_buffer - reserved_headroom_;
   for (auto& a : egress_bytes_) a.fill(0);
   for (auto& a : ingress_bytes_) a.fill(0);
   for (auto& a : headroom_used_) a.fill(0);
   for (auto& a : pause_sent_) a.fill(false);
   for (auto& a : tx_paused_) a.fill(false);
+  for (auto& a : paused_accum_) a.fill(0);
+  for (auto& a : paused_since_) a.fill(0);
+}
+
+Bytes SharedBufferSwitch::EffectiveTotalBuffer() const {
+  return buffer_override_ > 0
+             ? std::min(buffer_override_, config_.buffer.total_buffer)
+             : config_.buffer.total_buffer;
+}
+
+Bytes SharedBufferSwitch::SharedCapacity() const {
+  return std::max<Bytes>(0, EffectiveTotalBuffer() - reserved_headroom_);
+}
+
+void SharedBufferSwitch::SetSharedBufferOverride(Bytes bytes) {
+  buffer_override_ = std::max<Bytes>(0, bytes);
+  if (!config_.pfc_enabled) return;
+  // The dynamic threshold moved: a shrink can push queues over it (pause
+  // promptly, don't wait for the next arrival), a restore can free them.
+  CheckPauseAll();
+  CheckResumeAll();
 }
 
 void SharedBufferSwitch::SetRoute(int dst_host, std::vector<int> ports) {
@@ -58,8 +83,9 @@ const std::vector<int>& SharedBufferSwitch::RouteTo(int dst_host) const {
 
 Bytes SharedBufferSwitch::CurrentPfcThreshold() const {
   if (!config_.dynamic_pfc) return config_.static_pfc_threshold;
-  return DynamicPfcThreshold(config_.buffer, headroom_, config_.beta,
-                             shared_used_);
+  SwitchBufferSpec spec = config_.buffer;
+  spec.total_buffer = EffectiveTotalBuffer();
+  return DynamicPfcThreshold(spec, headroom_, config_.beta, shared_used_);
 }
 
 Bytes SharedBufferSwitch::EgressQueueBytes(int port, int priority) const {
@@ -80,14 +106,58 @@ bool SharedBufferSwitch::TxPaused(int port, int priority) const {
   return tx_paused_[static_cast<size_t>(port)][static_cast<size_t>(priority)];
 }
 
+Time SharedBufferSwitch::PausedTimeTotal(int port, int priority) const {
+  const auto ip = static_cast<size_t>(port);
+  const auto pr = static_cast<size_t>(priority);
+  Time total = paused_accum_[ip][pr];
+  if (tx_paused_[ip][pr]) total += eq_->Now() - paused_since_[ip][pr];
+  return total;
+}
+
+Time SharedBufferSwitch::PausedTimeTotalAll() const {
+  Time total = 0;
+  for (int port = 0; port < num_ports(); ++port) {
+    for (int pr = 0; pr < kNumPriorities; ++pr) {
+      total += PausedTimeTotal(port, pr);
+    }
+  }
+  return total;
+}
+
+void SharedBufferSwitch::SetTxPaused(int port, int priority, bool paused) {
+  const auto ip = static_cast<size_t>(port);
+  const auto pr = static_cast<size_t>(priority);
+  if (tx_paused_[ip][pr] == paused) return;  // refresh PAUSE: episode is open
+  tx_paused_[ip][pr] = paused;
+  if (paused) {
+    paused_since_[ip][pr] = eq_->Now();
+  } else {
+    const Time episode = eq_->Now() - paused_since_[ip][pr];
+    paused_accum_[ip][pr] += episode;
+    counters_.paused_time_total += episode;
+  }
+}
+
 void SharedBufferSwitch::ReceivePacket(const Packet& p, int in_port) {
   counters_.rx_packets++;
   if (p.IsPfc()) {
     counters_.pause_frames_received++;
-    const auto pr = static_cast<size_t>(p.pfc_priority);
-    tx_paused_[static_cast<size_t>(in_port)][pr] =
-        (p.type == PacketType::kPause);
-    if (p.type == PacketType::kResume) TrySend(in_port);
+    const bool pause = p.type == PacketType::kPause;
+    const int prio = p.pfc_priority;
+    SetTxPaused(in_port, prio, pause);
+    eq_->Cancel(rx_pause_expiry_[static_cast<size_t>(in_port)]
+                                [static_cast<size_t>(prio)]);
+    if (pause && config_.pfc_pause_expiry > 0) {
+      // Pause-quanta timeout: unless the peer refreshes, transmission
+      // resumes on its own — a lost RESUME can't wedge the port.
+      rx_pause_expiry_[static_cast<size_t>(in_port)]
+                      [static_cast<size_t>(prio)] =
+          eq_->ScheduleIn(config_.pfc_pause_expiry, [this, in_port, prio] {
+            SetTxPaused(in_port, prio, false);
+            TrySend(in_port);
+          });
+    }
+    if (!pause) TrySend(in_port);
     return;
   }
 
@@ -126,7 +196,7 @@ void SharedBufferSwitch::AdmitAndEnqueue(Packet p, int in_port, int out_port) {
     // headroom reservation exists for.
     in_headroom = true;
     headroom_used_[ip][pr] += p.size_bytes;
-  } else if (shared_used_ + p.size_bytes <= shared_capacity_) {
+  } else if (shared_used_ + p.size_bytes <= SharedCapacity()) {
     shared_used_ += p.size_bytes;
   } else {
     counters_.dropped_packets++;
@@ -177,6 +247,28 @@ void SharedBufferSwitch::CheckPause(int in_port, int priority) {
   if (ingress_bytes_[ip][pr] > CurrentPfcThreshold()) {
     pause_sent_[ip][pr] = true;
     SendPfcFrame(in_port, priority, /*pause=*/true);
+    ArmPauseRefresh(in_port, priority);
+  }
+}
+
+void SharedBufferSwitch::ArmPauseRefresh(int port, int priority) {
+  if (config_.pfc_pause_refresh <= 0) return;
+  pause_refresh_[static_cast<size_t>(port)][static_cast<size_t>(priority)] =
+      eq_->ScheduleIn(config_.pfc_pause_refresh, [this, port, priority] {
+        if (!pause_sent_[static_cast<size_t>(port)]
+                        [static_cast<size_t>(priority)]) {
+          return;
+        }
+        SendPfcFrame(port, priority, /*pause=*/true);
+        ArmPauseRefresh(port, priority);
+      });
+}
+
+void SharedBufferSwitch::CheckPauseAll() {
+  for (int port = 0; port < num_ports(); ++port) {
+    for (int pr = 0; pr < kNumPriorities; ++pr) {
+      CheckPause(port, pr);
+    }
   }
 }
 
@@ -191,6 +283,7 @@ void SharedBufferSwitch::CheckResumeAll() {
       const auto ipr = static_cast<size_t>(pr);
       if (pause_sent_[ip][ipr] && ingress_bytes_[ip][ipr] <= resume_level) {
         pause_sent_[ip][ipr] = false;
+        eq_->Cancel(pause_refresh_[ip][ipr]);
         SendPfcFrame(port, pr, /*pause=*/false);
       }
     }

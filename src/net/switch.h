@@ -72,11 +72,26 @@ struct SwitchConfig {
   // queue could monopolize the whole 12 MB buffer. 0 disables.
   Bytes lossy_egress_cap = 0;
 
+  // 802.1Qbb pause-quanta realism (both default 0 = off, keeping the
+  // idealized latching PAUSE/RESUME model that truly lossless wires
+  // justify). With `pfc_pause_expiry` > 0 a received PAUSE only holds for
+  // that long unless refreshed — the 65535-quanta ceiling is ~840 us at
+  // 40 Gbps — and with `pfc_pause_refresh` > 0 this switch re-sends PAUSE
+  // at that period while the pause condition persists, so a healthy peer
+  // never expires mid-episode. Enable both (refresh < expiry) for fault
+  // experiments: once links can eat a RESUME, a latching model stays
+  // paused forever, which is not what real PFC does.
+  Time pfc_pause_expiry = 0;
+  Time pfc_pause_refresh = 0;
+
   void Validate() const {
     red.Validate();
     DCQCN_CHECK(beta > 0);
     DCQCN_CHECK(resume_offset >= 0);
     if (!dynamic_pfc) DCQCN_CHECK(static_pfc_threshold > 0);
+    if (pfc_pause_expiry > 0 && pfc_pause_refresh > 0) {
+      DCQCN_CHECK(pfc_pause_refresh < pfc_pause_expiry);
+    }
   }
 };
 
@@ -93,6 +108,10 @@ struct SwitchCounters {
   // QCN frames that arrived from another switch and were dropped at the L3
   // boundary (the reason QCN cannot run over routed fabrics).
   int64_t qcn_feedback_dropped = 0;
+  // Total picoseconds this switch's transmission spent paused, summed over
+  // every (port, priority). Finalized on RESUME edges; PausedTimeTotal()
+  // additionally includes the still-open pause episodes.
+  int64_t paused_time_total = 0;
 };
 
 class SharedBufferSwitch : public Node {
@@ -121,10 +140,24 @@ class SharedBufferSwitch : public Node {
   Bytes IngressQueueBytes(int port, int priority) const;
   bool PauseSent(int port, int priority) const;
   bool TxPaused(int port, int priority) const;
+  // Cumulative time this (port, priority)'s transmission has spent paused,
+  // including the currently open episode — what pause-storm detection and
+  // Fig. 15-style "where did pauses propagate" analyses integrate over.
+  Time PausedTimeTotal(int port, int priority) const;
+  // Sum of PausedTimeTotal over all (port, priority) pairs.
+  Time PausedTimeTotalAll() const;
   // Current PFC threshold given the instantaneous occupancy.
   Bytes CurrentPfcThreshold() const;
   Bytes headroom_per_queue() const { return headroom_; }
   const SwitchConfig& config() const { return config_; }
+
+  // --- fault-injection hook (FaultInjector, src/fault) ---
+  // Caps the chip's buffer at `bytes` at runtime: admission uses the shrunk
+  // shared pool and the dynamic PFC threshold sees the shrunk B term, so
+  // PAUSE fires earlier — modeling firmware/config faults that steal buffer.
+  // Already-admitted bytes are never evicted; the pool shrinks as they
+  // drain. `bytes <= 0` restores the configured capacity.
+  void SetSharedBufferOverride(Bytes bytes);
 
  private:
   struct StoredPacket {
@@ -137,14 +170,23 @@ class SharedBufferSwitch : public Node {
   void AdmitAndEnqueue(Packet p, int in_port, int out_port);
   void ReleaseBuffer(const StoredPacket& sp);
   void CheckPause(int in_port, int priority);
+  void CheckPauseAll();
   void CheckResumeAll();
   void SendPfcFrame(int port, int priority, bool pause);
+  void ArmPauseRefresh(int port, int priority);
+  void SetTxPaused(int port, int priority, bool paused);
+  // Effective shared-pool capacity / chip buffer size under the fault
+  // override (equal to the configured values when no override is active).
+  Bytes SharedCapacity() const;
+  Bytes EffectiveTotalBuffer() const;
 
   EventQueue* eq_;
   Rng* rng_;
   SwitchConfig config_;
   Bytes headroom_;
-  Bytes shared_capacity_;  // B - priorities*ports*headroom (if PFC on)
+  Bytes reserved_headroom_;  // priorities*ports*headroom (0 if PFC off)
+  Bytes shared_capacity_;    // B - reserved_headroom_
+  Bytes buffer_override_ = 0;  // fault injection; 0 = none
 
   // Indexed [port][priority].
   std::vector<std::array<std::deque<StoredPacket>, kNumPriorities>> egress_;
@@ -153,6 +195,14 @@ class SharedBufferSwitch : public Node {
   std::vector<std::array<Bytes, kNumPriorities>> headroom_used_;
   std::vector<std::array<bool, kNumPriorities>> pause_sent_;
   std::vector<std::array<bool, kNumPriorities>> tx_paused_;
+  // Paused-time integration per (port, priority): closed episodes accumulate
+  // into `paused_accum_`; `paused_since_` stamps the open episode.
+  std::vector<std::array<Time, kNumPriorities>> paused_accum_;
+  std::vector<std::array<Time, kNumPriorities>> paused_since_;
+  // Pause-quanta timers (only armed when the expiry/refresh knobs are on):
+  // expiry of a received PAUSE, and periodic re-PAUSE of a sent one.
+  std::vector<std::array<EventHandle, kNumPriorities>> rx_pause_expiry_;
+  std::vector<std::array<EventHandle, kNumPriorities>> pause_refresh_;
 
   // QCN congestion-point state per (egress port, priority).
   std::vector<std::array<QcnCp, kNumPriorities>> qcn_cp_;

@@ -39,6 +39,11 @@ struct NicConfig {
   // queue overshoots) that hardware does not show.
   double timer_jitter = 0.10;   // +/- fraction on RP timer periods
   double pacing_jitter = 0.02;  // +/- fraction on inter-packet gaps
+  // 802.1Qbb pause-quanta expiry for received PAUSE frames; 0 = latching
+  // PAUSE/RESUME (the idealized default). Set alongside the switch-side
+  // SwitchConfig::pfc_pause_{expiry,refresh} knobs for fault experiments —
+  // see the rationale there.
+  Time pfc_pause_expiry = 0;
   // Loss recovery granularity for the RDMA modes. The paper's ConnectX-3
   // generation restarts the WHOLE in-progress message on any loss
   // ("go-back-0"; cf. Guo et al., SIGCOMM'16) — this is why running DCQCN

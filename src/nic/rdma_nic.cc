@@ -10,7 +10,11 @@ RdmaNic::RdmaNic(EventQueue* eq, int id, NicConfig config)
   config_.params.Validate();
 }
 
-RdmaNic::~RdmaNic() { eq_->Cancel(wakeup_); }
+RdmaNic::~RdmaNic() {
+  eq_->Cancel(wakeup_);
+  for (const EventHandle& h : storm_timer_) eq_->Cancel(h);
+  for (const EventHandle& h : rx_pause_expiry_) eq_->Cancel(h);
+}
 
 Rate RdmaNic::line_rate() const {
   Link* l = link(0);
@@ -70,7 +74,16 @@ void RdmaNic::TrySend() {
   if (l == nullptr || l->Busy(this)) return;
   const Time now = eq_->Now();
 
-  // Control traffic (ACK/NAK/CNP) first — but it honors PFC for whatever
+  // PFC frames (pause-storm fault mode) go ahead of all other traffic and
+  // are never themselves subject to PFC.
+  if (!pfc_out_.empty()) {
+    Packet p = pfc_out_.front();
+    pfc_out_.pop_front();
+    l->Transmit(this, p);
+    return;
+  }
+
+  // Control traffic (ACK/NAK/CNP) next — but it honors PFC for whatever
   // class the frame rides (CNPs use the high-priority class, ACK/NAK the
   // data class).
   if (!ctrl_out_.empty() &&
@@ -111,9 +124,20 @@ void RdmaNic::ReceivePacket(const Packet& p, int /*in_port*/) {
     case PacketType::kPause:
     case PacketType::kResume: {
       counters_.pause_frames_received++;
-      tx_paused_[static_cast<size_t>(p.pfc_priority)] =
-          (p.type == PacketType::kPause);
-      if (p.type == PacketType::kResume) TrySend();
+      const bool pause = p.type == PacketType::kPause;
+      const size_t pr = static_cast<size_t>(p.pfc_priority);
+      tx_paused_[pr] = pause;
+      eq_->Cancel(rx_pause_expiry_[pr]);
+      if (pause && config_.pfc_pause_expiry > 0) {
+        // Pause-quanta timeout (see SwitchConfig::pfc_pause_expiry): a lost
+        // RESUME can't leave this NIC muted forever.
+        rx_pause_expiry_[pr] =
+            eq_->ScheduleIn(config_.pfc_pause_expiry, [this, pr] {
+              tx_paused_[pr] = false;
+              TrySend();
+            });
+      }
+      if (!pause) TrySend();
       return;
     }
     case PacketType::kData:
@@ -211,6 +235,59 @@ void RdmaNic::HandleData(const Packet& p) {
   }
 }
 
+void RdmaNic::EmitStormPause(int priority) {
+  Packet f;
+  f.type = PacketType::kPause;
+  f.size_bytes = kControlFrameBytes;
+  f.pfc_priority = static_cast<int8_t>(priority);
+  f.priority = kControlPriority;
+  pfc_out_.push_back(f);
+  counters_.pause_frames_sent++;
+  TrySend();
+}
+
+void RdmaNic::RearmStorm(size_t pr) {
+  if (storm_refresh_[pr] == 0) return;  // storm stopped meanwhile
+  EmitStormPause(static_cast<int>(pr));
+  storm_timer_[pr] =
+      eq_->ScheduleIn(storm_refresh_[pr], [this, pr] { RearmStorm(pr); });
+}
+
+void RdmaNic::StartPauseStorm(int priority, Time refresh) {
+  DCQCN_CHECK(priority >= 0 && priority < kNumPriorities);
+  DCQCN_CHECK(refresh > 0);
+  const auto pr = static_cast<size_t>(priority);
+  eq_->Cancel(storm_timer_[pr]);  // restart overrides an active storm
+  storm_refresh_[pr] = refresh;
+  // Babble: assert PAUSE now and keep re-asserting until stopped, like
+  // firmware stuck in its flow-control path. With the simulator's latching
+  // PFC semantics the repeats keep the upstream paused state (and its pause
+  // counters) live for the storm's whole lifetime.
+  EmitStormPause(priority);
+  storm_timer_[pr] =
+      eq_->ScheduleIn(refresh, [this, pr] { RearmStorm(pr); });
+}
+
+void RdmaNic::StopPauseStorm(int priority) {
+  DCQCN_CHECK(priority >= 0 && priority < kNumPriorities);
+  const auto pr = static_cast<size_t>(priority);
+  if (storm_refresh_[pr] == 0) return;
+  storm_refresh_[pr] = 0;
+  eq_->Cancel(storm_timer_[pr]);
+  Packet f;
+  f.type = PacketType::kResume;
+  f.size_bytes = kControlFrameBytes;
+  f.pfc_priority = static_cast<int8_t>(priority);
+  f.priority = kControlPriority;
+  pfc_out_.push_back(f);
+  TrySend();
+}
+
+void RdmaNic::SetControlDelay(Time delay) {
+  DCQCN_CHECK(delay >= 0);
+  control_delay_ = delay;
+}
+
 void RdmaNic::SendControl(PacketType type, const RcvFlow& rcv, int flow_id,
                           uint64_t seq, bool ecn_echo) {
   Packet c;
@@ -230,6 +307,19 @@ void RdmaNic::SendControl(PacketType type, const RcvFlow& rcv, int flow_id,
   c.transport = rcv.transport;
   c.tx_timestamp = type == PacketType::kAck ? rcv.last_data_ts : 0;
   c.ecmp_key = rcv.ecmp_key;
+  EnqueueControl(c);
+}
+
+void RdmaNic::EnqueueControl(const Packet& c) {
+  if (control_delay_ > 0) {
+    // Slow-receiver fault: the response pipeline is stalled. Same-delay
+    // events fire in FIFO order, so delayed control stays ordered.
+    eq_->ScheduleIn(control_delay_, [this, c] {
+      ctrl_out_.push_back(c);
+      TrySend();
+    });
+    return;
+  }
   ctrl_out_.push_back(c);
   TrySend();
 }

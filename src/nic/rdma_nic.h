@@ -34,6 +34,10 @@ struct NicCounters {
   int64_t acks_sent = 0;
   int64_t naks_sent = 0;
   int64_t pause_frames_received = 0;
+  // PAUSE frames this NIC emitted — nonzero only under the fault injector's
+  // babbling-NIC pause storm (healthy hosts in these experiments never
+  // pause their ToR).
+  int64_t pause_frames_sent = 0;
   int64_t out_of_order_packets = 0;
 };
 
@@ -73,6 +77,25 @@ class RdmaNic : public Node {
     return tx_paused_[static_cast<size_t>(priority)];
   }
 
+  // --- fault-injection hooks (FaultInjector, src/fault) ---
+
+  // "Babbling NIC": continuously re-emits PFC PAUSE for `priority` every
+  // `refresh` until stopped — the NIC-firmware failure that pauses the whole
+  // upstream tree. PAUSE frames are MAC control: they jump the transmit
+  // queue and ignore the NIC's own paused state. StopPauseStorm() sends the
+  // healing RESUME.
+  void StartPauseStorm(int priority, Time refresh);
+  void StopPauseStorm(int priority);
+  bool PauseStormActive(int priority) const {
+    return storm_refresh_[static_cast<size_t>(priority)] > 0;
+  }
+
+  // Slow receiver: every control packet this NIC generates (ACK/NAK/CNP) is
+  // held for `delay` before entering the transmit queue, modeling a host
+  // whose response pipeline has stalled. 0 restores normal operation.
+  void SetControlDelay(Time delay);
+  Time control_delay() const { return control_delay_; }
+
  private:
   struct RcvFlow {
     int32_t src_host = -1;
@@ -92,6 +115,9 @@ class RdmaNic : public Node {
   void HandleData(const Packet& p);
   void SendControl(PacketType type, const RcvFlow& rcv, int flow_id,
                    uint64_t seq, bool ecn_echo);
+  void EnqueueControl(const Packet& c);
+  void EmitStormPause(int priority);
+  void RearmStorm(size_t pr);
 
   EventQueue* eq_;
   NicConfig config_;
@@ -100,9 +126,19 @@ class RdmaNic : public Node {
   std::unordered_map<int, SenderQp*> qp_by_flow_;
   std::unordered_map<int, RcvFlow> rcv_flows_;
   std::deque<Packet> ctrl_out_;
+  // PFC frames from the pause-storm generator; sent ahead of everything and
+  // exempt from tx_paused_ (MAC control frames are never subject to PFC).
+  std::deque<Packet> pfc_out_;
   CnpGenerationGate cnp_gate_;
 
   bool tx_paused_[kNumPriorities] = {};
+  // Expiry of a received PAUSE when NicConfig::pfc_pause_expiry is on.
+  EventHandle rx_pause_expiry_[kNumPriorities];
+  // Pause-storm state per priority: refresh period (0 = no storm) and the
+  // pending re-PAUSE event.
+  Time storm_refresh_[kNumPriorities] = {};
+  EventHandle storm_timer_[kNumPriorities];
+  Time control_delay_ = 0;
   size_t rr_next_ = 0;
   EventHandle wakeup_;
   Time wakeup_time_ = 0;

@@ -85,10 +85,12 @@ TrialResult RunOneTrial(const TrialSpec& spec, const RunnerOptions& options,
   ctx.base_seed = options.base_seed;
   ctx.trial_index = index;
   ctx.seed = DeriveTrialSeed(options.base_seed, index);
+  ctx.faults = &spec.faults;
   TrialResult r = spec.run(ctx);
   if (r.name.empty()) r.name = spec.name;
   r.trial_index = index;
   r.seed = ctx.seed;
+  r.faults = spec.faults;
   return r;
 }
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "stats/stats.h"
 
 namespace dcqcn {
@@ -39,6 +40,9 @@ struct TrialContext {
   uint64_t base_seed = 0;   // the matrix-wide --seed
   size_t trial_index = 0;   // position in the submitted matrix
   uint64_t seed = 0;        // DeriveTrialSeed(base_seed, trial_index)
+  // The spec's fault plan (never null while a trial runs; empty when the
+  // trial injects no faults). Trial bodies hand it to a FaultInjector.
+  const FaultPlan* faults = nullptr;
 };
 
 // Structured output of one trial. All maps are std::map so iteration (and
@@ -51,6 +55,10 @@ struct TrialResult {
   std::map<std::string, double> metrics;     // scalar measurements
   std::map<std::string, Summary> summaries;  // distribution summaries
   std::map<std::string, TimeSeries> series;  // sampled traces
+  // Copied from TrialSpec::faults by the runner so serialized results are
+  // self-describing about what was injected. Serialization emits it only
+  // when non-empty, keeping fault-free output byte-identical to before.
+  FaultPlan faults;
 };
 
 // One cell of the experiment matrix: a factory closure that builds and runs
@@ -58,6 +66,10 @@ struct TrialResult {
 struct TrialSpec {
   std::string name;
   std::function<TrialResult(const TrialContext&)> run;
+  // Declarative fault schedule for this trial (empty = no faults). The
+  // runner exposes it via TrialContext::faults and stamps it into the
+  // TrialResult.
+  FaultPlan faults;
 };
 
 struct RunnerOptions {

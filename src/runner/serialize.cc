@@ -137,7 +137,14 @@ std::string ResultsToJson(const std::vector<TrialResult>& results) {
       }
       out += ']';
     }
-    out += "}}";
+    out += '}';
+    // Only trials that injected faults carry the key, so fault-free output
+    // is byte-identical to what this schema produced before faults existed.
+    if (!r.faults.empty()) {
+      out += ",\"faults\":";
+      out += r.faults.ToJson();
+    }
+    out += '}';
   }
   out += "]}";
   return out;
@@ -147,6 +154,7 @@ std::string ResultsToCsv(const std::vector<TrialResult>& results) {
   // Header: fixed columns + the sorted union of counter/metric keys across
   // all trials (so every row has the same shape).
   std::set<std::string> counter_keys, metric_keys;
+  bool any_faults = false;
   for (const TrialResult& r : results) {
     for (const auto& [k, v] : r.counters) {
       (void)v;
@@ -156,6 +164,7 @@ std::string ResultsToCsv(const std::vector<TrialResult>& results) {
       (void)v;
       metric_keys.insert(k);
     }
+    if (!r.faults.empty()) any_faults = true;
   }
 
   auto csv_field = [](const std::string& s) {
@@ -169,7 +178,10 @@ std::string ResultsToCsv(const std::vector<TrialResult>& results) {
     return quoted;
   };
 
+  // The `faults` column appears only when at least one trial has a plan,
+  // so fault-free matrices keep the original header shape.
   std::string out = "name,index,seed";
+  if (any_faults) out += ",faults";
   for (const std::string& k : counter_keys) out += ',' + csv_field(k);
   for (const std::string& k : metric_keys) out += ',' + csv_field(k);
   out += '\n';
@@ -180,6 +192,10 @@ std::string ResultsToCsv(const std::vector<TrialResult>& results) {
     AppendUint(out, r.trial_index);
     out += ',';
     AppendUint(out, r.seed);
+    if (any_faults) {
+      out += ',';
+      out += csv_field(r.faults.ToCompactString());
+    }
     for (const std::string& k : counter_keys) {
       out += ',';
       if (auto it = r.counters.find(k); it != r.counters.end()) {

@@ -13,6 +13,7 @@
 #include <set>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "fluid/sweep.h"
 #include "net/topology.h"
 #include "runner/serialize.h"
@@ -84,6 +85,93 @@ std::string RunToJson(int jobs, uint64_t seed) {
   return runner::ResultsToJson(runner::RunTrials(BuildMatrix(), opt));
 }
 
+// A trial that executes its spec's fault plan against a private network.
+// Mirrors how the fault benches run: the injector draws from its own
+// seed-derived stream, so fault randomness never perturbs network RNG state.
+runner::TrialSpec FaultedIncastTrial(int trial, FaultPlan plan) {
+  runner::TrialSpec spec;
+  spec.name = "faulted_t" + std::to_string(trial);
+  spec.faults = std::move(plan);
+  spec.run = [](const runner::TrialContext& ctx) {
+    Network net(ctx.seed);
+    StarTopology topo = BuildStar(net, 4, TopologyOptions{});
+    for (int i = 0; i < 3; ++i) {
+      FlowSpec f;
+      f.flow_id = i;
+      f.src_host = topo.hosts[static_cast<size_t>(i)]->id();
+      f.dst_host = topo.hosts[3]->id();
+      f.size_bytes = 100 * kKB;
+      f.mode = TransportMode::kRdmaDcqcn;
+      net.StartFlow(f);
+    }
+    FaultInjector inj(&net, *ctx.faults, ctx.seed ^ 0xfa017ULL);
+    inj.Arm();
+    net.RunFor(Milliseconds(5));
+
+    runner::TrialResult r;
+    const SwitchCounters& c = topo.sw->counters();
+    r.counters["rx_packets"] = c.rx_packets;
+    r.counters["dropped"] = c.dropped_packets;
+    r.counters["faults_started"] = inj.faults_started();
+    r.counters["faults_healed"] = inj.faults_healed();
+    r.metrics["paused_us"] =
+        static_cast<double>(net.TotalPausedTime()) / kMicrosecond;
+    return r;
+  };
+  return spec;
+}
+
+std::vector<runner::TrialSpec> BuildFaultMatrix() {
+  std::vector<runner::TrialSpec> matrix;
+  for (int t = 0; t < 6; ++t) {
+    FaultPlan plan;
+    // Vary the plan per trial so caching/misordering bugs can't hide.
+    plan.Add(LinkFlap(0, 1 + (t % 3), Microseconds(100 + 10 * t),
+                      Microseconds(300)));
+    if (t % 2 == 0) {
+      plan.Add(PacketLoss(0, 4, Microseconds(50), Microseconds(500),
+                          0.01 * (1 + t)));
+    }
+    matrix.push_back(FaultedIncastTrial(t, std::move(plan)));
+  }
+  // One fault-free trial mixed in: its row must NOT grow a faults cell.
+  matrix.push_back(SmallIncastTrial(99));
+  return matrix;
+}
+
+TEST(Runner, FaultMatrixIsByteIdenticalAcrossJobCounts) {
+  runner::RunnerOptions serial{1, 11};
+  runner::RunnerOptions parallel{8, 11};
+  const auto r1 = runner::RunTrials(BuildFaultMatrix(), serial);
+  const auto r8 = runner::RunTrials(BuildFaultMatrix(), parallel);
+  const std::string json1 = runner::ResultsToJson(r1);
+  const std::string json8 = runner::ResultsToJson(r8);
+  EXPECT_EQ(json1, json8);
+  EXPECT_EQ(runner::ResultsToCsv(r1), runner::ResultsToCsv(r8));
+  // The plan rides along in the output so a results file is self-describing.
+  EXPECT_NE(json1.find("\"faults\":["), std::string::npos);
+  EXPECT_NE(json1.find("\"kind\":\"link_flap\""), std::string::npos);
+  EXPECT_NE(runner::ResultsToCsv(r1).find(",faults"), std::string::npos);
+  // Every injector ran its full plan.
+  for (size_t i = 0; i + 1 < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].counters.at("faults_started"),
+              r1[i].counters.at("faults_healed"));
+    EXPECT_GT(r1[i].counters.at("faults_started"), 0);
+  }
+}
+
+TEST(Runner, FaultFreeMatrixOutputHasNoFaultsField) {
+  // The faults field is emitted only when non-empty: adding the subsystem
+  // must not change a single byte of existing fault-free results files.
+  std::vector<runner::TrialSpec> matrix;
+  for (int t = 0; t < 3; ++t) matrix.push_back(SmallIncastTrial(t));
+  runner::RunnerOptions opt;
+  opt.jobs = 2;
+  const auto results = runner::RunTrials(matrix, opt);
+  EXPECT_EQ(runner::ResultsToJson(results).find("faults"), std::string::npos);
+  EXPECT_EQ(runner::ResultsToCsv(results).find("faults"), std::string::npos);
+}
+
 TEST(Runner, SerialAndParallelAreByteIdentical) {
   const std::string serial = RunToJson(/*jobs=*/1, /*seed=*/7);
   const std::string parallel = RunToJson(/*jobs=*/8, /*seed=*/7);
@@ -140,10 +228,12 @@ TEST(Runner, EmptyMatrixIsFine) {
 TEST(Runner, TrialExceptionPropagatesFromWorkers) {
   std::vector<runner::TrialSpec> matrix;
   for (int t = 0; t < 4; ++t) matrix.push_back(SmallIncastTrial(t));
-  matrix.push_back({"boom", [](const runner::TrialContext&)
-                                -> runner::TrialResult {
-                      throw std::runtime_error("trial failed");
-                    }});
+  runner::TrialSpec boom;
+  boom.name = "boom";
+  boom.run = [](const runner::TrialContext&) -> runner::TrialResult {
+    throw std::runtime_error("trial failed");
+  };
+  matrix.push_back(boom);
   runner::RunnerOptions opt;
   opt.jobs = 4;
   EXPECT_THROW(runner::RunTrials(matrix, opt), std::runtime_error);
