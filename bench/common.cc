@@ -1,6 +1,7 @@
 #include <memory>
 
 #include "bench/common.h"
+#include "telemetry/probes.h"
 
 namespace dcqcn {
 namespace bench {
@@ -103,6 +104,74 @@ Cdf RunVictim(TransportMode mode, int t3_senders, Time duration_per_run,
     if (!victim.empty()) run_medians.Add(victim.Quantile(0.5));
   }
   return run_medians;
+}
+
+TwoFlowResult RunTwoFlowValidation(const DcqcnParams& params, uint64_t seed) {
+  Network net(seed);
+  TopologyOptions opt;
+  opt.switch_config.red = params.red;
+  opt.nic_config.params = params;
+  StarTopology topo = BuildStar(net, 3, opt);
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec f;
+    f.flow_id = i;
+    f.src_host = topo.hosts[static_cast<size_t>(i)]->id();
+    f.dst_host = topo.hosts[2]->id();
+    f.size_bytes = 0;
+    f.start_time = i * Milliseconds(5);
+    f.mode = TransportMode::kRdmaDcqcn;
+    net.StartFlow(f);
+  }
+  RdmaNic* recv = topo.hosts[2];
+  telemetry::ProbeSet probes(&net.eq(), Milliseconds(1));
+  const size_t f1 =
+      probes.AddRate("f1", [recv] { return recv->ReceiverDeliveredBytes(0); });
+  const size_t f2 =
+      probes.AddRate("f2", [recv] { return recv->ReceiverDeliveredBytes(1); });
+  probes.Start();
+  net.RunFor(Milliseconds(100));
+
+  const Time from = Milliseconds(50), to = Milliseconds(100);
+  TwoFlowResult r;
+  r.r1 = probes.MeanOver(f1, from, to);
+  r.r2 = probes.MeanOver(f2, from, to);
+  // Rate variability of flow 1 over the tail (captures RED-with-slow-timer
+  // instability in the fig. 13 (c) configuration).
+  r.stddev1 = TailOver(probes.Series(f1), from, to).stddev;
+  return r;
+}
+
+IncastResult RunIncast(int k, uint64_t seed) {
+  DCQCN_CHECK(k >= 1);
+  Network net(seed);
+  StarTopology topo = BuildStar(net, k + 1, TopologyOptions{});
+  for (int i = 0; i < k; ++i) {
+    FlowSpec f;
+    f.flow_id = i;
+    f.src_host = topo.hosts[static_cast<size_t>(i)]->id();
+    f.dst_host = topo.hosts[static_cast<size_t>(k)]->id();
+    f.size_bytes = 0;
+    f.mode = TransportMode::kRdmaDcqcn;
+    net.StartFlow(f);
+  }
+  RdmaNic* recv = topo.hosts[static_cast<size_t>(k)];
+  SharedBufferSwitch* sw = topo.sw;
+  telemetry::ProbeSet probes(&net.eq(), Microseconds(10));
+  const size_t rate = probes.AddRate("total", [recv, k] {
+    Bytes b = 0;
+    for (int i = 0; i < k; ++i) b += recv->ReceiverDeliveredBytes(i);
+    return b;
+  });
+  const size_t queue = probes.AddGauge("queue", [sw, k] {
+    return static_cast<double>(sw->EgressQueueBytes(k, kDataPriority));
+  });
+  probes.Start();
+  net.RunFor(Milliseconds(20));
+
+  IncastResult r;
+  r.total_gbps = probes.MeanOver(rate, Milliseconds(10), Milliseconds(20));
+  r.p99_queue_bytes = probes.ToCdf(queue, Milliseconds(10)).Quantile(0.99);
+  return r;
 }
 
 TrafficResult RunBenchmarkTraffic(TransportMode mode, int incast_degree,

@@ -5,9 +5,11 @@
 // guaranteed to differ in nothing but the transport mode.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "core/params.h"
 #include "net/topology.h"
 #include "stats/stats.h"
 #include "trace/workload.h"
@@ -49,11 +51,51 @@ TrafficResult RunBenchmarkTraffic(TransportMode mode, int incast_degree,
                                   uint64_t seed,
                                   const TopologyOptions& topo_opts);
 
+// ---------- Fig. 13: two-flow parameter validation ----------
+//
+// Two unbounded flows through one star switch, the second joining at 5 ms;
+// 100 ms run, statistics over the settled tail [50 ms, 100 ms). Shared by
+// the fig. 13 bench and any parameter-ablation study.
+struct TwoFlowResult {
+  double r1 = 0, r2 = 0;  // tail-window mean goodput, Gbps
+  double stddev1 = 0;     // flow-1 rate stddev over the tail (stability)
+};
+
+TwoFlowResult RunTwoFlowValidation(const DcqcnParams& params,
+                                   uint64_t seed = 6);
+
+// ---------- §6.1: K:1 incast with deployment parameters ----------
+//
+// 20 ms run; throughput and bottleneck-queue statistics over the second
+// half (tail from 10 ms), sampled every 10 us.
+struct IncastResult {
+  double total_gbps = 0;       // aggregate delivered goodput over the tail
+  double p99_queue_bytes = 0;  // bottleneck egress-queue p99 over the tail
+};
+
+IncastResult RunIncast(int k, uint64_t seed = 8);
+
 inline TopologyOptions DefaultTopo() { return TopologyOptions{}; }
 
 // Convenience quantile printers.
 inline double Q(const Cdf& c, double p) {
   return c.empty() ? 0.0 : c.Quantile(p);
+}
+
+// Median of each pooled CDF (0 for an empty one) — the per-host / per-config
+// statistic figs. 8 and 9 compare.
+inline std::vector<double> Medians(const std::vector<Cdf>& cdfs) {
+  std::vector<double> m;
+  m.reserve(cdfs.size());
+  for (const Cdf& c : cdfs) m.push_back(Q(c, 0.5));
+  return m;
+}
+
+// max - min of a value set (fig. 9's "flat across configs" measure).
+inline double Spread(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+  return *hi - *lo;
 }
 
 }  // namespace bench

@@ -33,6 +33,7 @@
 #include "fault/pause_storm_detector.h"
 #include "net/topology.h"
 #include "runner/runner.h"
+#include "telemetry/collect.h"
 
 using namespace dcqcn;
 
@@ -123,6 +124,7 @@ runner::TrialSpec VictimTrial(const Scenario& sc, TransportMode mode) {
   spec.faults = sc.faults;
   spec.run = [mode](const runner::TrialContext& ctx) {
     Network net(ctx.seed);
+    if (ctx.trace) net.EnableTracing(ctx.trace_capacity);
     // Real 802.1Qbb quanta: a received PAUSE expires (~840 us at 40G)
     // unless the sender keeps refreshing it.
     TopologyOptions topo_opt;
@@ -207,6 +209,12 @@ runner::TrialSpec VictimTrial(const Scenario& sc, TransportMode mode) {
         static_cast<int64_t>(detector.alarms().size());
     r.counters["faults_started"] = inj.faults_started();
     r.counters["faults_healed"] = inj.faults_healed();
+    if (ctx.trace) {
+      r.trace_json = net.ExportChromeTrace();
+      telemetry::MetricRegistry registry;
+      telemetry::CollectNetworkMetrics(net, &registry);
+      r.registry = registry.Snapshot();
+    }
     return r;
   };
   return spec;
@@ -226,6 +234,11 @@ int main(int argc, char** argv) {
   for (const Scenario& sc : scenarios) {
     matrix.push_back(VictimTrial(sc, TransportMode::kRdmaRaw));
     matrix.push_back(VictimTrial(sc, TransportMode::kRdmaDcqcn));
+  }
+  if (!cli.trace_prefix.empty()) {
+    for (runner::TrialSpec& spec : matrix) {
+      spec.trace_path = runner::TracePathFor(cli.trace_prefix, spec.name);
+    }
   }
 
   runner::RunnerOptions opt;

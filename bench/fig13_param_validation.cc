@@ -10,52 +10,18 @@
 // Then: K:1 incast for K = 2..20 with deployment parameters must keep total
 // throughput > 39 Gbps with queue < ~100 KB (§6.1's closing validation).
 #include <cmath>
-#include <cstdio>
 
-#include "net/topology.h"
-#include "stats/monitor.h"
+#include "bench/common.h"
 
 using namespace dcqcn;
+using namespace dcqcn::bench;
 
 namespace {
 
-void RunTwoFlow(const char* label, const DcqcnParams& params) {
-  Network net(6);
-  TopologyOptions opt;
-  opt.switch_config.red = params.red;
-  opt.nic_config.params = params;
-  StarTopology topo = BuildStar(net, 3, opt);
-  for (int i = 0; i < 2; ++i) {
-    FlowSpec f;
-    f.flow_id = i;
-    f.src_host = topo.hosts[static_cast<size_t>(i)]->id();
-    f.dst_host = topo.hosts[2]->id();
-    f.size_bytes = 0;
-    f.start_time = i * Milliseconds(5);
-    f.mode = TransportMode::kRdmaDcqcn;
-    net.StartFlow(f);
-  }
-  FlowRateMonitor mon(&net.eq(), Milliseconds(1));
-  mon.Track("f1", [&] { return topo.hosts[2]->ReceiverDeliveredBytes(0); });
-  mon.Track("f2", [&] { return topo.hosts[2]->ReceiverDeliveredBytes(1); });
-  mon.Start();
-  net.RunFor(Milliseconds(100));
-
-  // Tail window statistics.
-  const Time from = Milliseconds(50), to = Milliseconds(100);
-  const double r1 = mon.MeanGbps(0, from, to);
-  const double r2 = mon.MeanGbps(1, from, to);
-  // Rate variability of flow 1 over the tail (captures (c)'s instability).
-  double var = 0;
-  int n = 0;
-  for (const auto& [t, v] : mon.Series(0).points) {
-    if (t >= from && t < to) {
-      var += (v - r1) * (v - r1);
-      ++n;
-    }
-  }
+void PrintTwoFlow(const char* label, const DcqcnParams& params) {
+  const TwoFlowResult r = RunTwoFlowValidation(params);
   std::printf("  %-34s f1 %6.2f  f2 %6.2f  |diff| %5.2f  std %5.2f\n",
-              label, r1, r2, std::abs(r1 - r2), std::sqrt(var / n));
+              label, r.r1, r.r2, std::abs(r.r1 - r.r2), r.stddev1);
 }
 
 }  // namespace
@@ -63,11 +29,11 @@ void RunTwoFlow(const char* label, const DcqcnParams& params) {
 int main() {
   std::printf("Figure 13: two-flow testbed validation (tail window "
               "[50ms,100ms], Gbps)\n");
-  RunTwoFlow("(a) strawman", DcqcnParams::Strawman());
-  RunTwoFlow("(b) 55us timer + cut-off ECN", DcqcnParams::FastTimerCutoff());
-  RunTwoFlow("(c) RED-ECN + slow timers", DcqcnParams::RedOnly());
-  RunTwoFlow("(d) RED-ECN + 55us timer (deployed)",
-             DcqcnParams::Deployment());
+  PrintTwoFlow("(a) strawman", DcqcnParams::Strawman());
+  PrintTwoFlow("(b) 55us timer + cut-off ECN", DcqcnParams::FastTimerCutoff());
+  PrintTwoFlow("(c) RED-ECN + slow timers", DcqcnParams::RedOnly());
+  PrintTwoFlow("(d) RED-ECN + 55us timer (deployed)",
+               DcqcnParams::Deployment());
   std::printf("\npaper shape: (a) unfair; (b),(d) fair and stable; (c) fair "
               "on average but less stable\n");
 
@@ -75,35 +41,9 @@ int main() {
               "(20 ms, tail from 10 ms)\n");
   std::printf("%6s %16s %18s\n", "K", "total (Gbps)", "p99 queue (KB)");
   for (int k : {2, 4, 8, 16, 20}) {
-    Network net(8);
-    StarTopology topo = BuildStar(net, k + 1, TopologyOptions{});
-    for (int i = 0; i < k; ++i) {
-      FlowSpec f;
-      f.flow_id = i;
-      f.src_host = topo.hosts[static_cast<size_t>(i)]->id();
-      f.dst_host = topo.hosts[static_cast<size_t>(k)]->id();
-      f.size_bytes = 0;
-      f.mode = TransportMode::kRdmaDcqcn;
-      net.StartFlow(f);
-    }
-    QueueMonitor qmon(&net.eq(), Microseconds(10), [&] {
-      return topo.sw->EgressQueueBytes(k, kDataPriority);
-    });
-    qmon.Start();
-    Bytes before = 0;
-    net.RunFor(Milliseconds(10));
-    for (int i = 0; i < k; ++i) {
-      before += topo.hosts[static_cast<size_t>(k)]->ReceiverDeliveredBytes(i);
-    }
-    net.RunFor(Milliseconds(10));
-    Bytes after = 0;
-    for (int i = 0; i < k; ++i) {
-      after += topo.hosts[static_cast<size_t>(k)]->ReceiverDeliveredBytes(i);
-    }
-    const double total_gbps =
-        static_cast<double>(after - before) * 8.0 / 0.010 / 1e9;
-    std::printf("%6d %16.2f %18.1f\n", k, total_gbps,
-                qmon.ToCdf(Milliseconds(10)).Quantile(0.99) / 1e3);
+    const IncastResult r = RunIncast(k);
+    std::printf("%6d %16.2f %18.1f\n", k, r.total_gbps,
+                r.p99_queue_bytes / 1e3);
   }
   std::printf("\npaper shape: total always > 39 Gbps, queue never above "
               "~100 KB for K = 2..20\n");

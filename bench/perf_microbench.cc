@@ -105,6 +105,33 @@ void BM_SimulatedIncastMillisecond(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedIncastMillisecond)->Arg(2)->Arg(8);
 
+void BM_SwitchHotPath(benchmark::State& state) {
+  // The telemetry overhead guard: the same 8:1 incast millisecond with the
+  // event tracer disabled (Arg 0) vs enabled (Arg 1). Disabled tracing costs
+  // one null-pointer branch per instrumentation site, so Arg(0) must stay
+  // within noise of the pre-telemetry baseline (<= ~2%); Arg(1) bounds what
+  // a traced run pays.
+  const bool traced = state.range(0) != 0;
+  const int k = 8;
+  Network net(1);
+  if (traced) net.EnableTracing();
+  StarTopology topo = BuildStar(net, k + 1, TopologyOptions{});
+  for (int i = 0; i < k; ++i) {
+    FlowSpec f;
+    f.flow_id = i;
+    f.src_host = topo.hosts[static_cast<size_t>(i)]->id();
+    f.dst_host = topo.hosts[static_cast<size_t>(k)]->id();
+    f.size_bytes = 0;
+    f.mode = TransportMode::kRdmaDcqcn;
+    net.StartFlow(f);
+  }
+  for (auto _ : state) {
+    net.RunFor(Milliseconds(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchHotPath)->Arg(0)->Arg(1);
+
 void BM_RunnerFluidSweep(benchmark::State& state) {
   // Serial-vs-parallel throughput of the experiment runner on a 16-trial
   // fluid-model sweep (the Fig. 12-style matrix). Arg = --jobs; real time

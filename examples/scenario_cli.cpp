@@ -13,6 +13,13 @@
 //     --no-pfc                  disable PFC (lossy fabric)
 //     --storm-host=IDX          babbling NIC: host IDX emits a PAUSE storm
 //     --storm-ms=D              storm duration (default 5, with --storm-host)
+//     --trace=PATH              dump a Chrome/Perfetto trace of the run
+//
+// --trace enables the structured event tracer on every switch, NIC and
+// link and writes the run's records as Chrome trace-event JSON (load in
+// ui.perfetto.dev or chrome://tracing): queue-depth counters per
+// (switch, port, priority), PAUSE/RESUME and ECN instants, per-flow CNP
+// and rate/alpha tracks, and fault begin/heal markers.
 //
 // With --storm-host the run arms a FaultInjector (storm starts at 1/4 of
 // the simulated time) and a PauseStormDetector watchdogging every switch,
@@ -27,6 +34,7 @@
 #include <string>
 
 #include "dcqcn.h"
+#include "runner/serialize.h"
 
 using namespace dcqcn;
 
@@ -44,6 +52,7 @@ struct Args {
   bool pfc = true;
   int storm_host = -1;  // host index; -1 = no storm
   int storm_ms = 5;
+  std::string trace_path;  // empty = tracing off
 };
 
 bool Parse(int argc, char** argv, Args* a) {
@@ -73,6 +82,8 @@ bool Parse(int argc, char** argv, Args* a) {
       a->storm_host = std::atoi(v);
     } else if (const char* v = val("--storm-ms=")) {
       a->storm_ms = std::atoi(v);
+    } else if (const char* v = val("--trace=")) {
+      a->trace_path = v;
     } else if (s == "--no-pfc") {
       a->pfc = false;
     } else {
@@ -106,6 +117,9 @@ int main(int argc, char** argv) {
   if (!Parse(argc, argv, &args)) return 1;
 
   Network net(args.seed);
+  // A deep ring (1M records, ~40 MB) so multi-ms runs keep their rare
+  // events (fault markers, early PAUSE edges) alongside the dense ones.
+  if (!args.trace_path.empty()) net.EnableTracing(size_t{1} << 20);
   TopologyOptions opt;
   opt.switch_config.pfc_enabled = args.pfc;
   if (!args.pfc) opt.switch_config.lossy_egress_cap = 1 * kMiB;
@@ -209,6 +223,18 @@ int main(int argc, char** argv) {
                       static_cast<double>(kMillisecond));
     }
     std::printf("\n");
+  }
+
+  if (!args.trace_path.empty()) {
+    if (runner::WriteFile(args.trace_path, net.ExportChromeTrace())) {
+      std::printf("\nwrote trace %s (%zu of %zu events retained)\n",
+                  args.trace_path.c_str(), net.tracer()->size(),
+                  net.tracer()->total_recorded());
+    } else {
+      std::fprintf(stderr, "failed to write trace %s\n",
+                   args.trace_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

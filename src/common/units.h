@@ -20,6 +20,9 @@ namespace dcqcn {
 // Simulated time in picoseconds.
 using Time = int64_t;
 
+// A time later than any simulated instant (open-ended windows).
+constexpr Time kTimeMax = INT64_MAX;
+
 constexpr Time kPicosecond = 1;
 constexpr Time kNanosecond = 1000;
 constexpr Time kMicrosecond = 1000 * kNanosecond;

@@ -34,6 +34,10 @@
 #include "sim/event_queue.h"
 #include "stats/monitor.h"
 #include "stats/stats.h"
+#include "telemetry/collect.h"
+#include "telemetry/event_trace.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/probes.h"
 #include "trace/arrivals.h"
 #include "trace/distributions.h"
 #include "trace/workload.h"

@@ -56,6 +56,11 @@ void FaultInjector::Arm() {
 
 void FaultInjector::Begin(const FaultSpec& f) {
   started_++;
+  if (telemetry::EventTracer* tracer = net_->tracer()) {
+    tracer->Record(net_->eq().Now(), telemetry::TraceEventType::kFaultBegin,
+                   f.node_a, /*port=*/-1, static_cast<int8_t>(f.priority),
+                   -1, static_cast<int64_t>(f.kind));
+  }
   switch (f.kind) {
     case FaultKind::kLinkFlap:
       ResolveLink(f)->SetUp(false);
@@ -80,6 +85,11 @@ void FaultInjector::Begin(const FaultSpec& f) {
 
 void FaultInjector::End(const FaultSpec& f) {
   healed_++;
+  if (telemetry::EventTracer* tracer = net_->tracer()) {
+    tracer->Record(net_->eq().Now(), telemetry::TraceEventType::kFaultEnd,
+                   f.node_a, /*port=*/-1, static_cast<int8_t>(f.priority),
+                   -1, static_cast<int64_t>(f.kind));
+  }
   switch (f.kind) {
     case FaultKind::kLinkFlap:
       ResolveLink(f)->SetUp(true);

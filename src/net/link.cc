@@ -39,15 +39,18 @@ void Link::Transmit(Node* from, const Packet& p) {
   // the frame out (its timing is unaffected) — only delivery is suppressed.
   if (!up_) {
     d.lost++;
+    TraceWireDrop(d, p);
     return;
   }
   if (fault_rng_ != nullptr) {
     if (drop_p_ > 0 && fault_rng_->Chance(drop_p_)) {
       d.lost++;
+      TraceWireDrop(d, p);
       return;
     }
     if (corrupt_p_ > 0 && fault_rng_->Chance(corrupt_p_)) {
       d.corrupted++;
+      TraceWireDrop(d, p);
       return;
     }
   }
@@ -60,6 +63,13 @@ void Link::Transmit(Node* from, const Packet& p) {
     d.to->ReceivePacket(p, d.to_port);
   });
   d.in_flight.push_back(h);
+}
+
+void Link::TraceWireDrop(const Direction& d, const Packet& p) {
+  if (!tracer_) return;
+  tracer_->Record(eq_->Now(), telemetry::TraceEventType::kLinkDrop,
+                  d.from->id(), static_cast<int16_t>(d.from_port), p.priority,
+                  p.flow_id, p.size_bytes);
 }
 
 void Link::SetUp(bool up) {

@@ -15,6 +15,7 @@
 #include "net/node.h"
 #include "net/packet.h"
 #include "sim/event_queue.h"
+#include "telemetry/event_trace.h"
 
 namespace dcqcn {
 
@@ -73,6 +74,9 @@ class Link {
     return dir(from).corrupted;
   }
 
+  // Structured event tracing (wire-level drops); null disables.
+  void SetTracer(telemetry::EventTracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Direction {
     Node* from = nullptr;
@@ -91,6 +95,7 @@ class Link {
   };
 
   void KillInFlight(Direction& d);
+  void TraceWireDrop(const Direction& d, const Packet& p);
 
   const Direction& dir(const Node* from) const {
     DCQCN_CHECK(from == fwd_.from || from == rev_.from);
@@ -108,6 +113,7 @@ class Link {
   double drop_p_ = 0;
   double corrupt_p_ = 0;
   Rng* fault_rng_ = nullptr;
+  telemetry::EventTracer* tracer_ = nullptr;
   Direction fwd_;
   Direction rev_;
 };

@@ -12,6 +12,7 @@ SharedBufferSwitch* Network::AddSwitch(int num_ports,
   auto sw = std::make_unique<SharedBufferSwitch>(&eq_, &rng_, id, num_ports,
                                                  cfg);
   SharedBufferSwitch* raw = sw.get();
+  raw->SetTracer(tracer_.get());
   switches_.push_back(std::move(sw));
   nodes_.push_back(raw);
   adj_.emplace_back();
@@ -22,6 +23,7 @@ RdmaNic* Network::AddHost(const NicConfig& cfg) {
   const int id = next_node_id_++;
   auto nic = std::make_unique<RdmaNic>(&eq_, id, cfg);
   RdmaNic* raw = nic.get();
+  raw->SetTracer(tracer_.get());
   nics_.push_back(std::move(nic));
   nodes_.push_back(raw);
   adj_.emplace_back();
@@ -58,6 +60,7 @@ Link* Network::Connect(Node* a, int port_a, Node* b, int port_b, Rate rate,
   auto link = std::make_unique<Link>(&eq_, a, port_a, b, port_b, rate,
                                      propagation);
   Link* raw = link.get();
+  raw->SetTracer(tracer_.get());
   links_.push_back(std::move(link));
   adj_[static_cast<size_t>(a->id())].push_back(Adjacency{b, port_a});
   adj_[static_cast<size_t>(b->id())].push_back(Adjacency{a, port_b});
@@ -142,6 +145,28 @@ int64_t Network::TotalOutOfOrderPackets() const {
   int64_t n = 0;
   for (const auto& nic : nics_) n += nic->counters().out_of_order_packets;
   return n;
+}
+
+telemetry::EventTracer* Network::EnableTracing(size_t capacity) {
+  if (!tracer_ || tracer_->capacity() != capacity) {
+    tracer_ = std::make_unique<telemetry::EventTracer>(capacity);
+  }
+  for (const auto& sw : switches_) sw->SetTracer(tracer_.get());
+  for (const auto& nic : nics_) nic->SetTracer(tracer_.get());
+  for (const auto& l : links_) l->SetTracer(tracer_.get());
+  return tracer_.get();
+}
+
+std::string Network::ExportChromeTrace() const {
+  if (!tracer_) return std::string();
+  std::map<int, std::string> names;
+  for (const auto& sw : switches_) {
+    names[sw->id()] = "switch " + std::to_string(sw->id());
+  }
+  for (const auto& nic : nics_) {
+    names[nic->id()] = "host " + std::to_string(nic->id());
+  }
+  return tracer_->ToChromeJson(names);
 }
 
 }  // namespace dcqcn

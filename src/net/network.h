@@ -11,6 +11,7 @@
 #include "net/switch.h"
 #include "nic/rdma_nic.h"
 #include "sim/event_queue.h"
+#include "telemetry/event_trace.h"
 
 namespace dcqcn {
 
@@ -65,6 +66,18 @@ class Network {
   int64_t TotalNaks() const;
   int64_t TotalOutOfOrderPackets() const;
 
+  // --- structured event tracing ---
+  // Creates the tracer (ring of `capacity` records) and attaches it to every
+  // existing and future switch, NIC and link. Idempotent on capacity match;
+  // calling again with a different capacity restarts with a fresh ring.
+  telemetry::EventTracer* EnableTracing(
+      size_t capacity = telemetry::kDefaultTraceCapacity);
+  // Null until EnableTracing().
+  telemetry::EventTracer* tracer() const { return tracer_.get(); }
+  // Chrome trace-event JSON of the retained records, with node tracks
+  // labeled "switch N" / "host N". Empty string when tracing is off.
+  std::string ExportChromeTrace() const;
+
  private:
   struct Adjacency {
     Node* peer = nullptr;
@@ -81,6 +94,7 @@ class Network {
   // node id -> list of (peer, local port)
   std::vector<std::vector<Adjacency>> adj_;
   std::vector<Node*> nodes_;  // node id -> node
+  std::unique_ptr<telemetry::EventTracer> tracer_;
 };
 
 }  // namespace dcqcn

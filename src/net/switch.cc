@@ -12,6 +12,8 @@ SharedBufferSwitch::SharedBufferSwitch(EventQueue* eq, Rng* rng, int id,
       config_(config),
       egress_(static_cast<size_t>(num_ports)),
       egress_bytes_(static_cast<size_t>(num_ports)),
+      ecn_marks_(static_cast<size_t>(num_ports)),
+      max_egress_depth_(static_cast<size_t>(num_ports)),
       ingress_bytes_(static_cast<size_t>(num_ports)),
       headroom_used_(static_cast<size_t>(num_ports)),
       pause_sent_(static_cast<size_t>(num_ports)),
@@ -36,6 +38,8 @@ SharedBufferSwitch::SharedBufferSwitch(EventQueue* eq, Rng* rng, int id,
   }
   shared_capacity_ = config_.buffer.total_buffer - reserved_headroom_;
   for (auto& a : egress_bytes_) a.fill(0);
+  for (auto& a : ecn_marks_) a.fill(0);
+  for (auto& a : max_egress_depth_) a.fill(0);
   for (auto& a : ingress_bytes_) a.fill(0);
   for (auto& a : headroom_used_) a.fill(0);
   for (auto& a : pause_sent_) a.fill(false);
@@ -98,6 +102,15 @@ Bytes SharedBufferSwitch::IngressQueueBytes(int port, int priority) const {
       priority)];
 }
 
+int64_t SharedBufferSwitch::EcnMarked(int port, int priority) const {
+  return ecn_marks_[static_cast<size_t>(port)][static_cast<size_t>(priority)];
+}
+
+Bytes SharedBufferSwitch::MaxQueueDepth(int port, int priority) const {
+  return max_egress_depth_[static_cast<size_t>(port)]
+                          [static_cast<size_t>(priority)];
+}
+
 bool SharedBufferSwitch::PauseSent(int port, int priority) const {
   return pause_sent_[static_cast<size_t>(port)][static_cast<size_t>(priority)];
 }
@@ -135,6 +148,13 @@ void SharedBufferSwitch::SetTxPaused(int port, int priority, bool paused) {
     const Time episode = eq_->Now() - paused_since_[ip][pr];
     paused_accum_[ip][pr] += episode;
     counters_.paused_time_total += episode;
+  }
+  if (tracer_) {
+    tracer_->Record(eq_->Now(),
+                    paused ? telemetry::TraceEventType::kPauseRx
+                           : telemetry::TraceEventType::kResumeRx,
+                    id(), static_cast<int16_t>(port),
+                    static_cast<int8_t>(priority), -1, 0);
   }
 }
 
@@ -187,6 +207,11 @@ void SharedBufferSwitch::AdmitAndEnqueue(Packet p, int in_port, int out_port) {
       egress_bytes_[op][pr] + p.size_bytes > config_.lossy_egress_cap) {
     counters_.dropped_packets++;
     counters_.dropped_bytes += p.size_bytes;
+    if (tracer_) {
+      tracer_->Record(eq_->Now(), telemetry::TraceEventType::kPktDrop, id(),
+                      static_cast<int16_t>(out_port), p.priority, p.flow_id,
+                      p.size_bytes);
+    }
     return;
   }
   bool in_headroom = false;
@@ -201,6 +226,11 @@ void SharedBufferSwitch::AdmitAndEnqueue(Packet p, int in_port, int out_port) {
   } else {
     counters_.dropped_packets++;
     counters_.dropped_bytes += p.size_bytes;
+    if (tracer_) {
+      tracer_->Record(eq_->Now(), telemetry::TraceEventType::kPktDrop, id(),
+                      static_cast<int16_t>(out_port), p.priority, p.flow_id,
+                      p.size_bytes);
+    }
     return;
   }
   ingress_bytes_[ip][pr] += p.size_bytes;
@@ -210,6 +240,12 @@ void SharedBufferSwitch::AdmitAndEnqueue(Packet p, int in_port, int out_port) {
       RedShouldMark(config_.red, egress_bytes_[op][pr], *rng_)) {
     p.ecn_ce = true;
     counters_.ecn_marked_packets++;
+    ecn_marks_[op][pr]++;
+    if (tracer_) {
+      tracer_->Record(eq_->Now(), telemetry::TraceEventType::kEcnMark, id(),
+                      static_cast<int16_t>(out_port), p.priority, p.flow_id,
+                      egress_bytes_[op][pr]);
+    }
   }
 
   // --- QCN congestion point: sampled quantized feedback to the source ---
@@ -235,6 +271,14 @@ void SharedBufferSwitch::AdmitAndEnqueue(Packet p, int in_port, int out_port) {
 
   egress_[op][pr].push_back(StoredPacket{p, in_port, in_headroom});
   egress_bytes_[op][pr] += p.size_bytes;
+  if (egress_bytes_[op][pr] > max_egress_depth_[op][pr]) {
+    max_egress_depth_[op][pr] = egress_bytes_[op][pr];
+  }
+  if (tracer_) {
+    tracer_->Record(eq_->Now(), telemetry::TraceEventType::kPktEnqueue, id(),
+                    static_cast<int16_t>(out_port), p.priority, p.flow_id,
+                    egress_bytes_[op][pr]);
+  }
 
   if (config_.pfc_enabled) CheckPause(in_port, p.priority);
   TrySend(out_port);
@@ -302,6 +346,13 @@ void SharedBufferSwitch::SendPfcFrame(int port, int priority, bool pause) {
   } else {
     counters_.resume_frames_sent++;
   }
+  if (tracer_) {
+    tracer_->Record(eq_->Now(),
+                    pause ? telemetry::TraceEventType::kPauseTx
+                          : telemetry::TraceEventType::kResumeTx,
+                    id(), static_cast<int16_t>(port),
+                    static_cast<int8_t>(priority), -1, 0);
+  }
   TrySend(port);
 }
 
@@ -329,6 +380,12 @@ void SharedBufferSwitch::TrySend(int port) {
     egress_bytes_[ip][ipr] -= sp.pkt.size_bytes;
     in_flight_[ip] = sp;
     counters_.tx_packets++;
+    if (tracer_) {
+      tracer_->Record(eq_->Now(), telemetry::TraceEventType::kPktDequeue,
+                      id(), static_cast<int16_t>(port),
+                      sp.pkt.priority, sp.pkt.flow_id,
+                      egress_bytes_[ip][ipr]);
+    }
     l->Transmit(this, sp.pkt);
     return;
   }

@@ -39,6 +39,7 @@
 #include "net/node.h"
 #include "net/packet.h"
 #include "sim/event_queue.h"
+#include "telemetry/event_trace.h"
 
 namespace dcqcn {
 
@@ -138,6 +139,13 @@ class SharedBufferSwitch : public Node {
   Bytes shared_occupancy() const { return shared_used_; }
   Bytes EgressQueueBytes(int port, int priority) const;
   Bytes IngressQueueBytes(int port, int priority) const;
+  // Per-(egress port, priority) resolution of the switch-global counters:
+  // RED/ECN marks and the high-watermark of the egress queue depth. Fig. 13's
+  // "which queue marked" and Fig. 12's depth analyses want this locality.
+  int64_t EcnMarked(int port, int priority) const;
+  Bytes MaxQueueDepth(int port, int priority) const;
+  // Structured event tracing; null (the default) disables it.
+  void SetTracer(telemetry::EventTracer* tracer) { tracer_ = tracer; }
   bool PauseSent(int port, int priority) const;
   bool TxPaused(int port, int priority) const;
   // Cumulative time this (port, priority)'s transmission has spent paused,
@@ -191,6 +199,8 @@ class SharedBufferSwitch : public Node {
   // Indexed [port][priority].
   std::vector<std::array<std::deque<StoredPacket>, kNumPriorities>> egress_;
   std::vector<std::array<Bytes, kNumPriorities>> egress_bytes_;
+  std::vector<std::array<int64_t, kNumPriorities>> ecn_marks_;
+  std::vector<std::array<Bytes, kNumPriorities>> max_egress_depth_;
   std::vector<std::array<Bytes, kNumPriorities>> ingress_bytes_;
   std::vector<std::array<Bytes, kNumPriorities>> headroom_used_;
   std::vector<std::array<bool, kNumPriorities>> pause_sent_;
@@ -215,6 +225,7 @@ class SharedBufferSwitch : public Node {
   Bytes shared_used_ = 0;
   std::vector<std::vector<int>> routes_;  // dst host -> out ports
   SwitchCounters counters_;
+  telemetry::EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace dcqcn

@@ -22,6 +22,11 @@ Rate RdmaNic::line_rate() const {
   return l->rate();
 }
 
+void RdmaNic::SetTracer(telemetry::EventTracer* tracer) {
+  tracer_ = tracer;
+  for (auto& qp : qps_) qp->SetTracer(tracer);
+}
+
 SenderQp* RdmaNic::AddFlow(const FlowSpec& spec) {
   DCQCN_CHECK(spec.src_host == id());
   DCQCN_CHECK(spec.flow_id >= 0);
@@ -29,6 +34,7 @@ SenderQp* RdmaNic::AddFlow(const FlowSpec& spec) {
   auto qp = std::make_unique<SenderQp>(eq_, this, spec, config_,
                                        line_rate());
   SenderQp* raw = qp.get();
+  raw->SetTracer(tracer_);
   qps_.push_back(std::move(qp));
   qp_by_flow_[spec.flow_id] = raw;
   const Time delay = std::max<Time>(0, spec.start_time - eq_->Now());
@@ -126,6 +132,12 @@ void RdmaNic::ReceivePacket(const Packet& p, int /*in_port*/) {
       counters_.pause_frames_received++;
       const bool pause = p.type == PacketType::kPause;
       const size_t pr = static_cast<size_t>(p.pfc_priority);
+      if (tracer_ && tx_paused_[pr] != pause) {
+        tracer_->Record(now,
+                        pause ? telemetry::TraceEventType::kPauseRx
+                              : telemetry::TraceEventType::kResumeRx,
+                        id(), /*port=*/0, p.pfc_priority, -1, 0);
+      }
       tx_paused_[pr] = pause;
       eq_->Cancel(rx_pause_expiry_[pr]);
       if (pause && config_.pfc_pause_expiry > 0) {
@@ -133,6 +145,11 @@ void RdmaNic::ReceivePacket(const Packet& p, int /*in_port*/) {
         // RESUME can't leave this NIC muted forever.
         rx_pause_expiry_[pr] =
             eq_->ScheduleIn(config_.pfc_pause_expiry, [this, pr] {
+              if (tracer_ && tx_paused_[pr]) {
+                tracer_->Record(eq_->Now(),
+                                telemetry::TraceEventType::kResumeRx, id(),
+                                /*port=*/0, static_cast<int8_t>(pr), -1, 0);
+              }
               tx_paused_[pr] = false;
               TrySend();
             });
@@ -184,6 +201,11 @@ void RdmaNic::HandleData(const Packet& p) {
         rcv.np.OnMarkedPacket(now, config_.params) &&
         cnp_gate_.Allow(now, config_.params)) {
       counters_.cnps_sent++;
+      if (tracer_) {
+        tracer_->Record(now, telemetry::TraceEventType::kCnpTx, id(),
+                        /*port=*/0, static_cast<int8_t>(kControlPriority),
+                        p.flow_id, 0);
+      }
       SendControl(PacketType::kCnp, rcv, p.flow_id, /*seq=*/0,
                   /*ecn_echo=*/false);
     }
@@ -243,6 +265,10 @@ void RdmaNic::EmitStormPause(int priority) {
   f.priority = kControlPriority;
   pfc_out_.push_back(f);
   counters_.pause_frames_sent++;
+  if (tracer_) {
+    tracer_->Record(eq_->Now(), telemetry::TraceEventType::kPauseTx, id(),
+                    /*port=*/0, static_cast<int8_t>(priority), -1, 0);
+  }
   TrySend();
 }
 
@@ -280,6 +306,10 @@ void RdmaNic::StopPauseStorm(int priority) {
   f.pfc_priority = static_cast<int8_t>(priority);
   f.priority = kControlPriority;
   pfc_out_.push_back(f);
+  if (tracer_) {
+    tracer_->Record(eq_->Now(), telemetry::TraceEventType::kResumeTx, id(),
+                    /*port=*/0, static_cast<int8_t>(priority), -1, 0);
+  }
   TrySend();
 }
 

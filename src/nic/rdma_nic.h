@@ -23,6 +23,7 @@
 #include "nic/nic_config.h"
 #include "nic/sender_qp.h"
 #include "sim/event_queue.h"
+#include "telemetry/event_trace.h"
 
 namespace dcqcn {
 
@@ -76,6 +77,8 @@ class RdmaNic : public Node {
   bool TxPaused(int priority) const {
     return tx_paused_[static_cast<size_t>(priority)];
   }
+  // Structured event tracing; propagates to existing and future sender QPs.
+  void SetTracer(telemetry::EventTracer* tracer);
 
   // --- fault-injection hooks (FaultInjector, src/fault) ---
 
@@ -147,6 +150,7 @@ class RdmaNic : public Node {
   std::vector<std::function<void(const FlowRecord&)>> completion_cbs_;
   std::vector<FlowRecord> completed_;
   NicCounters counters_;
+  telemetry::EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace dcqcn

@@ -153,11 +153,17 @@ void SenderQp::OnPacketSent(Time now, const Packet& p) {
 
   if (rp_) {
     const bool was_limiting = rp_->limiting();
-    rp_->OnBytesSent(p.size_bytes);
+    const Rate rate_before = rp_->current_rate();
+    const int expirations = rp_->OnBytesSent(p.size_bytes);
     if (was_limiting && !rp_->limiting()) {
       // Recovered to line rate: the limiter released; stop the timers.
       eq_->Cancel(alpha_timer_);
       eq_->Cancel(rate_timer_);
+    }
+    // A byte-counter expiration runs an increase iteration — the rate-change
+    // path the timers don't see.
+    if (tracer_ && expirations > 0 && rp_->current_rate() != rate_before) {
+      TraceRate();
     }
   }
 
@@ -262,13 +268,35 @@ void SenderQp::OnNak(Time now, uint64_t expected_seq) {
 
 void SenderQp::OnCnp(Time now) {
   counters_.cnps_received++;
+  if (tracer_) {
+    tracer_->Record(now, telemetry::TraceEventType::kCnpRx, spec_.src_host,
+                    /*port=*/0, spec_.priority, spec_.flow_id, 0);
+  }
   if (!rp_) return;
   rp_->OnCnp();
+  if (tracer_) {
+    TraceRate();
+    TraceAlpha();
+  }
   // Fig. 7: Reset(Timer, ByteCounter, T, BC, AlphaTimer) — re-arm both
   // timers from now.
   ArmAlphaTimer();
   ArmRateTimer();
   (void)now;
+}
+
+void SenderQp::TraceRate() {
+  if (!tracer_ || !rp_) return;
+  tracer_->Record(eq_->Now(), telemetry::TraceEventType::kRateUpdate,
+                  spec_.src_host, /*port=*/0, spec_.priority, spec_.flow_id,
+                  0, ToGbps(rp_->current_rate()));
+}
+
+void SenderQp::TraceAlpha() {
+  if (!tracer_ || !rp_) return;
+  tracer_->Record(eq_->Now(), telemetry::TraceEventType::kAlphaUpdate,
+                  spec_.src_host, /*port=*/0, spec_.priority, spec_.flow_id,
+                  0, rp_->alpha());
 }
 
 Time SenderQp::Jittered(Time base, double frac) {
@@ -285,6 +313,7 @@ void SenderQp::OnQcnFeedback(Time now, int fbq) {
       std::clamp(q.gd * static_cast<double>(fbq) / q.quant_levels, 1e-6,
                  0.5);
   rp_->OnQcnFeedback(cut);
+  if (tracer_) TraceRate();
   ArmRateTimer();
   (void)now;
 }
@@ -296,6 +325,7 @@ void SenderQp::ArmAlphaTimer() {
     alpha_timer_ = EventHandle{};
     if (!rp_ || !rp_->limiting()) return;
     rp_->OnAlphaTimer();
+    if (tracer_) TraceAlpha();
     ArmAlphaTimer();
   });
 }
@@ -308,6 +338,7 @@ void SenderQp::ArmRateTimer() {
     if (!rp_ || !rp_->limiting()) return;
     const bool was_limiting = rp_->limiting();
     rp_->OnRateTimer();
+    if (tracer_) TraceRate();
     if (was_limiting && !rp_->limiting()) {
       eq_->Cancel(alpha_timer_);
       return;

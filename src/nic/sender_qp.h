@@ -29,6 +29,7 @@
 #include "nic/flow.h"
 #include "nic/nic_config.h"
 #include "sim/event_queue.h"
+#include "telemetry/event_trace.h"
 
 namespace dcqcn {
 
@@ -90,7 +91,14 @@ class SenderQp {
   void OnCnp(Time now);
   void OnQcnFeedback(Time now, int fbq);
 
+  // Structured event tracing (CNP receipt, RP rate/alpha updates); null
+  // disables. Set by the owning NIC.
+  void SetTracer(telemetry::EventTracer* tracer) { tracer_ = tracer; }
+
  private:
+  // Emits kRateUpdate / kAlphaUpdate records for the RP's current state.
+  void TraceRate();
+  void TraceAlpha();
   bool WindowAllows() const;
   Bytes PacketBytes(uint64_t seq) const;
   bool IsLastOfMessage(uint64_t seq) const;
@@ -163,6 +171,7 @@ class SenderQp {
   Bytes ca_byte_accum_ = 0;
 
   QpCounters counters_;
+  telemetry::EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace dcqcn

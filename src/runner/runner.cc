@@ -86,12 +86,27 @@ TrialResult RunOneTrial(const TrialSpec& spec, const RunnerOptions& options,
   ctx.trial_index = index;
   ctx.seed = DeriveTrialSeed(options.base_seed, index);
   ctx.faults = &spec.faults;
+  ctx.trace = !spec.trace_path.empty();
   TrialResult r = spec.run(ctx);
   if (r.name.empty()) r.name = spec.name;
   r.trial_index = index;
   r.seed = ctx.seed;
   r.faults = spec.faults;
   return r;
+}
+
+// Trace files are written after every trial has completed, in submission
+// order — worker threads never touch the filesystem, so file creation order
+// and bytes are identical across --jobs counts.
+void WriteTraceFiles(const std::vector<TrialSpec>& matrix,
+                     const std::vector<TrialResult>& results) {
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    if (matrix[i].trace_path.empty()) continue;
+    if (!WriteFile(matrix[i].trace_path, results[i].trace_json)) {
+      std::fprintf(stderr, "failed to write trace %s\n",
+                   matrix[i].trace_path.c_str());
+    }
+  }
 }
 
 }  // namespace
@@ -106,6 +121,7 @@ std::vector<TrialResult> RunTrials(const std::vector<TrialSpec>& matrix,
     for (size_t i = 0; i < matrix.size(); ++i) {
       results[i] = RunOneTrial(matrix[i], options, i);
     }
+    WriteTraceFiles(matrix, results);
     return results;
   }
 
@@ -133,14 +149,25 @@ std::vector<TrialResult> RunTrials(const std::vector<TrialSpec>& matrix,
   }
   for (std::thread& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+  WriteTraceFiles(matrix, results);
   return results;
+}
+
+std::string TracePathFor(const std::string& prefix, const std::string& name) {
+  std::string file = name;
+  for (char& c : file) {
+    if (c == '/' || c == ' ' || c == ':' || c == '\\') c = '_';
+  }
+  return prefix + "_" + file + ".json";
 }
 
 CliOptions ParseCli(int argc, char** argv) {
   CliOptions cli;
   auto fail = [&cli](const std::string& msg) {
     cli.ok = false;
-    cli.error = msg + " (flags: --jobs N --seed S --json PATH --csv PATH)";
+    cli.error = msg +
+                " (flags: --jobs N --seed S --json PATH --csv PATH"
+                " --trace PREFIX)";
     return cli;
   };
 
@@ -176,6 +203,9 @@ CliOptions ParseCli(int argc, char** argv) {
     } else if (arg == "--csv") {
       if (!need_value()) return fail("--csv requires a path");
       cli.csv_path = value;
+    } else if (arg == "--trace") {
+      if (!need_value()) return fail("--trace requires a path prefix");
+      cli.trace_prefix = value;
     } else {
       return fail("unknown flag '" + arg + "'");
     }

@@ -26,6 +26,8 @@
 
 #include "fault/fault_plan.h"
 #include "stats/stats.h"
+#include "telemetry/event_trace.h"
+#include "telemetry/metric_registry.h"
 
 namespace dcqcn {
 namespace runner {
@@ -43,6 +45,11 @@ struct TrialContext {
   // The spec's fault plan (never null while a trial runs; empty when the
   // trial injects no faults). Trial bodies hand it to a FaultInjector.
   const FaultPlan* faults = nullptr;
+  // True when the spec carries a trace_path: the trial body should enable
+  // tracing (Network::EnableTracing(trace_capacity)) and fill
+  // TrialResult::trace_json with the exported Chrome trace.
+  bool trace = false;
+  size_t trace_capacity = telemetry::kDefaultTraceCapacity;
 };
 
 // Structured output of one trial. All maps are std::map so iteration (and
@@ -59,6 +66,15 @@ struct TrialResult {
   // self-describing about what was injected. Serialization emits it only
   // when non-empty, keeping fault-free output byte-identical to before.
   FaultPlan faults;
+  // Chrome trace-event JSON of the trial's run (filled by the trial body
+  // when TrialContext::trace is set). The runner writes it to the spec's
+  // trace_path after all trials complete, in submission order; it is never
+  // embedded in the results JSON.
+  std::string trace_json;
+  // Metric-registry snapshot (telemetry::CollectNetworkMetrics or custom
+  // metrics). Serialized as a "registry" key only when non-empty, keeping
+  // registry-free output byte-identical to before.
+  telemetry::RegistrySnapshot registry;
 };
 
 // One cell of the experiment matrix: a factory closure that builds and runs
@@ -70,6 +86,10 @@ struct TrialSpec {
   // runner exposes it via TrialContext::faults and stamps it into the
   // TrialResult.
   FaultPlan faults;
+  // When non-empty, the runner sets TrialContext::trace and writes the
+  // trial's trace_json here after the matrix completes (submission order,
+  // so file writes are deterministic regardless of --jobs).
+  std::string trace_path;
 };
 
 struct RunnerOptions {
@@ -88,21 +108,28 @@ std::vector<TrialResult> RunTrials(const std::vector<TrialSpec>& matrix,
 // ---------- bench-harness CLI ----------
 //
 // Shared flag parsing for the sweep benches:
-//   --jobs N     worker threads (default 1)
-//   --seed S     matrix base seed (default 1)
-//   --json PATH  write results as JSON (see serialize.h for the schema)
-//   --csv PATH   write scalar results as CSV
+//   --jobs N      worker threads (default 1)
+//   --seed S      matrix base seed (default 1)
+//   --json PATH   write results as JSON (see serialize.h for the schema)
+//   --csv PATH    write scalar results as CSV
+//   --trace PREF  per-trial Chrome trace files PREF_<trial name>.json
 // Both `--flag value` and `--flag=value` are accepted.
 struct CliOptions {
   int jobs = 1;
   uint64_t seed = 1;
-  std::string json_path;  // empty = don't write
-  std::string csv_path;   // empty = don't write
+  std::string json_path;      // empty = don't write
+  std::string csv_path;       // empty = don't write
+  std::string trace_prefix;   // empty = tracing off
   bool ok = true;
   std::string error;  // set when !ok
 };
 
 CliOptions ParseCli(int argc, char** argv);
+
+// "<prefix>_<name>.json" with filesystem-hostile characters in `name`
+// ('/', spaces, ':') folded to '_'. What benches assign to
+// TrialSpec::trace_path when --trace is given.
+std::string TracePathFor(const std::string& prefix, const std::string& name);
 
 // Applies --json / --csv from `cli` to `results` (no-op for empty paths).
 // Returns false and prints to stderr on I/O failure.

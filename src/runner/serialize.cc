@@ -144,6 +144,11 @@ std::string ResultsToJson(const std::vector<TrialResult>& results) {
       out += ",\"faults\":";
       out += r.faults.ToJson();
     }
+    // Same byte-compatibility rule for the metric-registry snapshot.
+    if (!r.registry.empty()) {
+      out += ",\"registry\":";
+      out += r.registry.ToJson();
+    }
     out += '}';
   }
   out += "]}";

@@ -1,5 +1,8 @@
 // Periodic in-simulation monitors.
 //
+// Both monitors are now thin facades over telemetry::ProbeSet (one shared
+// sampling loop, registry export for free via probes().ExportTo()):
+//
 //  * FlowRateMonitor — samples per-flow delivered bytes at the receiver on a
 //    fixed period and converts deltas to instantaneous goodput, producing a
 //    rate TimeSeries per flow (what the paper plots in Figs. 8-10, 13).
@@ -9,97 +12,64 @@
 
 #include <functional>
 #include <string>
-#include <vector>
+#include <utility>
 
 #include "common/units.h"
 #include "sim/event_queue.h"
 #include "stats/stats.h"
+#include "telemetry/probes.h"
 
 namespace dcqcn {
 
 class FlowRateMonitor {
  public:
   // `period` is both the sampling period and the rate-averaging window.
-  FlowRateMonitor(EventQueue* eq, Time period) : eq_(eq), period_(period) {
-    DCQCN_CHECK(period > 0);
-  }
+  FlowRateMonitor(EventQueue* eq, Time period) : probes_(eq, period) {}
 
   // Track a flow; `delivered_bytes` must return the receiver's cumulative
   // in-order byte count. Returns the flow's index for Series().
   size_t Track(std::string label, std::function<Bytes()> delivered_bytes) {
-    flows_.push_back(
-        Tracked{std::move(label), std::move(delivered_bytes), 0, {}});
-    return flows_.size() - 1;
+    return probes_.AddRate(std::move(label), std::move(delivered_bytes));
   }
 
-  void Start() { Arm(); }
+  void Start() { probes_.Start(); }
 
-  const TimeSeries& Series(size_t idx) const { return flows_[idx].series; }
-  const std::string& Label(size_t idx) const { return flows_[idx].label; }
-  size_t NumFlows() const { return flows_.size(); }
+  const TimeSeries& Series(size_t idx) const { return probes_.Series(idx); }
+  const std::string& Label(size_t idx) const { return probes_.Name(idx); }
+  size_t NumFlows() const { return probes_.NumProbes(); }
 
   // Mean rate (Gbps) of flow `idx` over [from, to).
   double MeanGbps(size_t idx, Time from, Time to) const {
-    return flows_[idx].series.MeanOver(from, to);
+    return probes_.MeanOver(idx, from, to);
   }
+
+  // The underlying probe set (registry export, Cdf helpers).
+  telemetry::ProbeSet& probes() { return probes_; }
+  const telemetry::ProbeSet& probes() const { return probes_; }
 
  private:
-  struct Tracked {
-    std::string label;
-    std::function<Bytes()> delivered;
-    Bytes last = 0;
-    TimeSeries series;  // value = goodput in Gbps over the last period
-  };
-
-  void Arm() {
-    eq_->ScheduleIn(period_, [this] {
-      const Time now = eq_->Now();
-      for (Tracked& f : flows_) {
-        const Bytes cur = f.delivered();
-        const double gbps = static_cast<double>(cur - f.last) * 8.0 /
-                            ToSeconds(period_) / 1e9;
-        f.last = cur;
-        f.series.Add(now, gbps);
-      }
-      Arm();
-    });
-  }
-
-  EventQueue* eq_;
-  Time period_;
-  std::vector<Tracked> flows_;
+  telemetry::ProbeSet probes_;
 };
 
 class QueueMonitor {
  public:
   QueueMonitor(EventQueue* eq, Time period, std::function<Bytes()> probe)
-      : eq_(eq), period_(period), probe_(std::move(probe)) {
-    DCQCN_CHECK(period > 0);
-  }
-
-  void Start() { Arm(); }
-
-  const TimeSeries& series() const { return series_; }
-  Cdf ToCdf(Time from = 0) const {
-    Cdf c;
-    for (const auto& [t, v] : series_.points) {
-      if (t >= from) c.Add(v);
-    }
-    return c;
-  }
-
- private:
-  void Arm() {
-    eq_->ScheduleIn(period_, [this] {
-      series_.Add(eq_->Now(), static_cast<double>(probe_()));
-      Arm();
+      : probes_(eq, period) {
+    probes_.AddGauge("queue_bytes", [fn = std::move(probe)] {
+      return static_cast<double>(fn());
     });
   }
 
-  EventQueue* eq_;
-  Time period_;
-  std::function<Bytes()> probe_;
-  TimeSeries series_;
+  void Start() { probes_.Start(); }
+
+  const TimeSeries& series() const { return probes_.Series(0); }
+  Cdf ToCdf(Time from = 0) const { return probes_.ToCdf(0, from); }
+
+  telemetry::ProbeSet& probes() { return probes_; }
+  const telemetry::ProbeSet& probes() const { return probes_; }
+
+ private:
+  telemetry::ProbeSet probes_;
 };
 
 }  // namespace dcqcn

@@ -100,10 +100,14 @@ double TimeSeries::MaxOver(Time from, Time to) const {
 }
 
 TailStats TailOver(const TimeSeries& series, Time from) {
+  return TailOver(series, from, kTimeMax);
+}
+
+TailStats TailOver(const TimeSeries& series, Time from, Time to) {
   TailStats s;
   bool first = true;
   for (const auto& [t, v] : series.points) {
-    if (t < from) continue;
+    if (t < from || t >= to) continue;
     s.mean += v;
     s.max = first ? v : std::max(s.max, v);
     s.min = first ? v : std::min(s.min, v);
@@ -113,7 +117,7 @@ TailStats TailOver(const TimeSeries& series, Time from) {
   if (s.count == 0) return s;  // all-zero, not NaN
   s.mean /= static_cast<double>(s.count);
   for (const auto& [t, v] : series.points) {
-    if (t >= from) s.stddev += (v - s.mean) * (v - s.mean);
+    if (t >= from && t < to) s.stddev += (v - s.mean) * (v - s.mean);
   }
   s.stddev = std::sqrt(s.stddev / static_cast<double>(s.count));
   return s;

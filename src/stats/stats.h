@@ -17,6 +17,15 @@ struct Summary {
   double min = 0, p10 = 0, p25 = 0, median = 0, p75 = 0, p90 = 0, max = 0;
   double mean = 0;
   size_t count = 0;
+
+  friend bool operator==(const Summary& a, const Summary& b) {
+    return a.min == b.min && a.p10 == b.p10 && a.p25 == b.p25 &&
+           a.median == b.median && a.p75 == b.p75 && a.p90 == b.p90 &&
+           a.max == b.max && a.mean == b.mean && a.count == b.count;
+  }
+  friend bool operator!=(const Summary& a, const Summary& b) {
+    return !(a == b);
+  }
 };
 
 Summary Summarize(const std::vector<double>& values);
@@ -62,6 +71,9 @@ struct TailStats {
 };
 
 TailStats TailOver(const TimeSeries& series, Time from);
+
+// Same, restricted to samples with t in [from, to).
+TailStats TailOver(const TimeSeries& series, Time from, Time to);
 
 // Fixed-width table printing for bench output.
 std::string FormatGbps(double gbps);

@@ -1,0 +1,71 @@
+#include "telemetry/collect.h"
+
+namespace dcqcn {
+namespace telemetry {
+
+void CollectNetworkMetrics(const Network& net, MetricRegistry* registry) {
+  DCQCN_CHECK(registry != nullptr);
+
+  for (const auto& sw : net.switches()) {
+    const SwitchCounters& c = sw->counters();
+    const MetricLabels node{sw->id(), -1, -1, -1};
+    registry->Counter("sw.rx_packets", node) += c.rx_packets;
+    registry->Counter("sw.tx_packets", node) += c.tx_packets;
+    registry->Counter("sw.dropped_packets", node) += c.dropped_packets;
+    registry->Counter("sw.dropped_bytes", node) += c.dropped_bytes;
+    registry->Counter("sw.ecn_marked_packets", node) += c.ecn_marked_packets;
+    registry->Counter("sw.pause_frames_sent", node) += c.pause_frames_sent;
+    registry->Counter("sw.resume_frames_sent", node) += c.resume_frames_sent;
+    registry->Counter("sw.pause_frames_received", node) +=
+        c.pause_frames_received;
+    registry->Counter("sw.qcn_feedback_sent", node) += c.qcn_feedback_sent;
+    registry->Counter("sw.qcn_feedback_dropped", node) +=
+        c.qcn_feedback_dropped;
+    registry->Counter("sw.paused_time", node) += sw->PausedTimeTotalAll();
+
+    // Per-queue resolution, nonzero entries only — a 32-port switch would
+    // otherwise contribute 256 zero rows per metric to every snapshot.
+    for (int port = 0; port < sw->num_ports(); ++port) {
+      for (int prio = 0; prio < kNumPriorities; ++prio) {
+        const MetricLabels q{sw->id(), port, prio, -1};
+        if (const int64_t marks = sw->EcnMarked(port, prio); marks > 0) {
+          registry->Counter("sw.ecn_marked", q) += marks;
+        }
+        if (const Bytes depth = sw->MaxQueueDepth(port, prio); depth > 0) {
+          registry->GaugeMax("sw.max_queue_depth", q, depth);
+        }
+        if (const Time paused = sw->PausedTimeTotal(port, prio); paused > 0) {
+          registry->Counter("sw.paused_time", q) += paused;
+        }
+      }
+    }
+  }
+
+  for (const auto& nic : net.hosts()) {
+    const NicCounters& c = nic->counters();
+    const MetricLabels node{nic->id(), -1, -1, -1};
+    registry->Counter("nic.data_packets_sent", node) += c.data_packets_sent;
+    registry->Counter("nic.data_packets_received", node) +=
+        c.data_packets_received;
+    registry->Counter("nic.marked_packets_received", node) +=
+        c.marked_packets_received;
+    registry->Counter("nic.cnps_sent", node) += c.cnps_sent;
+    registry->Counter("nic.acks_sent", node) += c.acks_sent;
+    registry->Counter("nic.naks_sent", node) += c.naks_sent;
+    registry->Counter("nic.pause_frames_received", node) +=
+        c.pause_frames_received;
+    registry->Counter("nic.pause_frames_sent", node) += c.pause_frames_sent;
+    registry->Counter("nic.out_of_order_packets", node) +=
+        c.out_of_order_packets;
+  }
+
+  registry->Counter("net.pause_frames_sent") += net.TotalPauseFramesSent();
+  registry->Counter("net.drops") += net.TotalDrops();
+  registry->Counter("net.paused_time") += net.TotalPausedTime();
+  registry->Counter("net.cnps_sent") += net.TotalCnpsSent();
+  registry->Counter("net.naks") += net.TotalNaks();
+  registry->Counter("net.out_of_order") += net.TotalOutOfOrderPackets();
+}
+
+}  // namespace telemetry
+}  // namespace dcqcn

@@ -1,0 +1,28 @@
+// Bridges the simulator's per-component counters into a MetricRegistry.
+//
+// One call after (or during) a run turns every SwitchCounters field, the
+// per-(port, priority) switch accounting, every NicCounters field and the
+// network-wide aggregates into labeled registry entries — the enumerable
+// form the runner snapshots into TrialResult. The `net.*` aggregates equal
+// the Network::Total*() getters by construction (asserted by tests), so
+// consumers can migrate to the registry without the getter plumbing.
+#pragma once
+
+#include "net/network.h"
+#include "telemetry/metric_registry.h"
+
+namespace dcqcn {
+namespace telemetry {
+
+// Naming scheme:
+//   sw.<counter>{node=N}                  — SwitchCounters fields
+//   sw.ecn_marked{node=N,port=P,prio=Q}   — per-queue ECN marks (nonzero only)
+//   sw.max_queue_depth{node=N,port=P,prio=Q} — egress depth high-watermark
+//   sw.paused_time{node=N,port=P,prio=Q}  — per-queue paused ps (nonzero only)
+//   nic.<counter>{node=N}                 — NicCounters fields
+//   net.pause_frames_sent / net.drops / net.paused_time / net.cnps_sent /
+//   net.naks / net.out_of_order            — Network::Total* equivalents
+void CollectNetworkMetrics(const Network& net, MetricRegistry* registry);
+
+}  // namespace telemetry
+}  // namespace dcqcn

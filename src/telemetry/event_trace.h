@@ -1,0 +1,140 @@
+// Structured event tracing.
+//
+// The paper's whole diagnostic method is time-resolved visibility: per-flow
+// rate curves (Figs. 8-10, 13), queue CDFs (Figs. 12, 19), PAUSE propagation
+// (Fig. 15). The EventTracer is the substrate for all of it: typed, fixed-
+// size records appended to a preallocated ring buffer from the switch / link
+// / NIC / RP hot paths. Components hold a raw `EventTracer*` that is null
+// until tracing is enabled, so the entire disabled-mode cost is one
+// pointer-null branch per instrumentation site (guarded by perf_microbench's
+// BM_SwitchHotPath case).
+//
+// Determinism: a record's content derives only from simulation state, and
+// records are appended in event-execution order — which the EventQueue makes
+// deterministic (FIFO at equal timestamps). The exporter is a pure function
+// of the ring contents with fixed-format numerics, so a {matrix, seed} pair
+// produces byte-identical trace files regardless of --jobs.
+//
+// The exporter emits Chrome trace-event JSON (the format chrome://tracing,
+// Perfetto and speedscope all load): counter tracks per (node, port,
+// priority) queue and per flow, instant events for discrete edges.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace dcqcn {
+namespace telemetry {
+
+enum class TraceEventType : uint8_t {
+  kPktEnqueue,   // switch: packet admitted; value = egress queue bytes after
+  kPktDequeue,   // switch: packet left an egress queue; value = bytes after
+  kPktDrop,      // switch: admission failure; value = dropped packet bytes
+  kEcnMark,      // switch CP: RED marked a data packet; value = queue bytes
+  kPauseTx,      // PFC PAUSE frame emitted (switch or babbling NIC)
+  kResumeTx,     // PFC RESUME frame emitted
+  kPauseRx,      // PAUSE edge applied: (node, port, priority) tx now paused
+  kResumeRx,     // RESUME edge (or quanta expiry): tx unpaused
+  kCnpTx,        // NP: NIC generated a CNP for `flow`
+  kCnpRx,        // RP: sender QP received a CNP for `flow`
+  kRateUpdate,   // RP: current rate changed; aux = R_C in Gbps
+  kAlphaUpdate,  // RP: alpha changed; aux = alpha
+  kFaultBegin,   // fault injector activated a fault; value = FaultKind
+  kFaultEnd,     // fault injector healed a fault; value = FaultKind
+  kLinkDrop,     // wire-level loss (down link / Bernoulli); value = bytes
+};
+
+// Stable lowercase name ("pkt_enqueue", ...) used in exported JSON args.
+const char* TraceEventTypeName(TraceEventType type);
+
+// One fixed-size record. Fields a type does not use stay at their -1/0
+// defaults; `value` and `aux` are typed per TraceEventType above.
+struct TraceRecord {
+  Time t = 0;
+  TraceEventType type = TraceEventType::kPktEnqueue;
+  int8_t priority = -1;
+  int16_t port = -1;
+  int32_t node = -1;
+  int32_t flow = -1;
+  int64_t value = 0;
+  double aux = 0.0;
+};
+
+// Chrome-trace pid used for per-flow tracks (flow f => pid base + f); node
+// tracks use the node id itself as pid.
+inline constexpr int kFlowTrackPidBase = 1 << 20;
+// Pseudo-pid collecting fault begin/end markers.
+inline constexpr int kFaultTrackPid = (1 << 20) - 1;
+
+inline constexpr size_t kDefaultTraceCapacity = size_t{1} << 16;
+
+class EventTracer {
+ public:
+  explicit EventTracer(size_t capacity = kDefaultTraceCapacity)
+      : capacity_(capacity) {
+    DCQCN_CHECK(capacity > 0);
+    ring_.reserve(capacity);
+  }
+
+  // Hot path: one bounds check + one slot write. Never allocates after the
+  // ring reaches capacity; the oldest record is overwritten (the tail of a
+  // run is what post-mortem analysis wants).
+  void Record(Time t, TraceEventType type, int32_t node, int16_t port,
+              int8_t priority, int32_t flow, int64_t value,
+              double aux = 0.0) {
+    TraceRecord r;
+    r.t = t;
+    r.type = type;
+    r.node = node;
+    r.port = port;
+    r.priority = priority;
+    r.flow = flow;
+    r.value = value;
+    r.aux = aux;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(r);
+    } else {
+      ring_[next_] = r;
+      next_ = (next_ + 1) % capacity_;
+    }
+    ++total_;
+  }
+
+  size_t capacity() const { return capacity_; }
+  // Records currently retained (== min(total_recorded, capacity)).
+  size_t size() const { return ring_.size(); }
+  // Every Record() call since construction / Clear().
+  uint64_t total_recorded() const { return total_; }
+  // Records lost to ring wraparound.
+  uint64_t overwritten() const { return total_ - ring_.size(); }
+
+  // Retained records in chronological (= insertion) order.
+  std::vector<TraceRecord> Snapshot() const;
+
+  // Chrome trace-event JSON ("traceEvents" array format). `node_names`
+  // labels the per-node process tracks ("switch 3", "host 10"); unnamed
+  // pids fall back to "node N". Deterministic: fixed field order, integer
+  // microsecond.6-digit timestamps, %.17g doubles.
+  std::string ToChromeJson(
+      const std::map<int, std::string>& node_names = {}) const;
+
+  void Clear() {
+    ring_.clear();
+    next_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  size_t next_ = 0;     // overwrite cursor once the ring is full
+  uint64_t total_ = 0;  // lifetime Record() count
+  std::vector<TraceRecord> ring_;
+};
+
+}  // namespace telemetry
+}  // namespace dcqcn

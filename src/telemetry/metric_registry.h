@@ -1,0 +1,106 @@
+// MetricRegistry: one enumerable, serializable home for simulation metrics.
+//
+// Replaces the scattered accounting the repo grew organically —
+// `SwitchCounters` fields read one-by-one, `Network::Total*` getters added
+// per experiment — with named counters / gauges / histograms carrying
+// (node, port, priority, flow) labels. Anything registered here is visible
+// to the runner's per-trial snapshot and to tests via one interface.
+//
+// Determinism: metrics live in a std::map keyed by the canonical encoded
+// name, so enumeration (and thus serialization) order is independent of
+// registration order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "stats/stats.h"
+
+namespace dcqcn {
+namespace telemetry {
+
+// Optional dimensions attached to a metric. -1 means "unset" and the label
+// is omitted from the encoded key.
+struct MetricLabels {
+  int node = -1;
+  int port = -1;
+  int priority = -1;
+  int flow = -1;
+};
+
+// Canonical key: name{node=N,port=P,prio=Q,flow=F} with unset labels
+// omitted and a fixed label order. "sw.drops{node=3,port=1,prio=3}".
+std::string EncodeMetricKey(const std::string& name, const MetricLabels& l);
+
+// Value-only view of a registry, suitable for embedding in TrialResult and
+// comparing across runs. Maps are keyed by the encoded metric key.
+struct RegistrySnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Summary> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  // Deterministic JSON object: {"counters":{...},"gauges":{...},
+  // "histograms":{...}} with map-ordered keys and %.17g doubles.
+  std::string ToJson() const;
+
+  // Parses exactly the ToJson() schema (round-trip support for tests and
+  // result files). Returns false on malformed input.
+  static bool FromJson(const std::string& json, RegistrySnapshot* out);
+
+  friend bool operator==(const RegistrySnapshot& a, const RegistrySnapshot& b) {
+    return a.counters == b.counters && a.gauges == b.gauges &&
+           a.histograms == b.histograms;
+  }
+  friend bool operator!=(const RegistrySnapshot& a, const RegistrySnapshot& b) {
+    return !(a == b);
+  }
+};
+
+class MetricRegistry {
+ public:
+  // Monotonic count (drops, ECN marks, CNPs...). Returns a stable reference:
+  // hot paths can cache it and bump without re-hashing.
+  int64_t& Counter(const std::string& name, const MetricLabels& l = {});
+
+  // Point-in-time value (queue depth, current rate...).
+  int64_t& Gauge(const std::string& name, const MetricLabels& l = {});
+
+  // High-watermark convenience: gauge = max(gauge, v).
+  void GaugeMax(const std::string& name, const MetricLabels& l, int64_t v) {
+    int64_t& g = Gauge(name, l);
+    if (v > g) g = v;
+  }
+
+  // Sample distribution, summarized at snapshot time.
+  void Observe(const std::string& name, const MetricLabels& l, double v);
+
+  RegistrySnapshot Snapshot() const;
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+  void Clear() {
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+  }
+
+ private:
+  // A key names exactly one metric of exactly one kind; re-registering the
+  // same key as a different kind is a bug (caught by DCQCN_CHECK).
+  void CheckKindUnique(const std::string& key, int kind) const;
+
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, int64_t> gauges_;
+  std::map<std::string, std::vector<double>> histograms_;
+};
+
+}  // namespace telemetry
+}  // namespace dcqcn

@@ -1,0 +1,52 @@
+#include "telemetry/probes.h"
+
+namespace dcqcn {
+namespace telemetry {
+
+size_t ProbeSet::AddGauge(std::string name, std::function<double()> fn,
+                          MetricLabels labels) {
+  DCQCN_CHECK(fn != nullptr);
+  Probe probe;
+  probe.name = std::move(name);
+  probe.labels = labels;
+  probe.gauge = std::move(fn);
+  probes_.push_back(std::move(probe));
+  return probes_.size() - 1;
+}
+
+size_t ProbeSet::AddRate(std::string name,
+                         std::function<Bytes()> cumulative_bytes,
+                         MetricLabels labels) {
+  DCQCN_CHECK(cumulative_bytes != nullptr);
+  Probe probe;
+  probe.name = std::move(name);
+  probe.labels = labels;
+  probe.rate = std::move(cumulative_bytes);
+  probes_.push_back(std::move(probe));
+  return probes_.size() - 1;
+}
+
+void ProbeSet::Sample(Probe& probe, Time now) {
+  if (probe.gauge) {
+    probe.series.Add(now, probe.gauge());
+    return;
+  }
+  const Bytes cur = probe.rate();
+  const double gbps =
+      static_cast<double>(cur - probe.last_bytes) * 8.0 / ToSeconds(period_) /
+      1e9;
+  probe.last_bytes = cur;
+  probe.series.Add(now, gbps);
+}
+
+void ProbeSet::ExportTo(MetricRegistry* registry, Time from) const {
+  DCQCN_CHECK(registry != nullptr);
+  for (const Probe& probe : probes_) {
+    for (const auto& [t, v] : probe.series.points) {
+      if (t >= from) registry->Observe(probe.name, probe.labels, v);
+    }
+  }
+}
+
+}  // namespace telemetry
+}  // namespace dcqcn
