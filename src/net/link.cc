@@ -3,10 +3,12 @@
 namespace dcqcn {
 
 Link::Link(EventQueue* eq, Node* a, int port_a, Node* b, int port_b, Rate rate,
-           Time propagation)
+           Time propagation, QueuePool* pool)
     : eq_(eq), rate_(rate), propagation_(propagation) {
   DCQCN_CHECK(eq != nullptr && a != nullptr && b != nullptr);
   DCQCN_CHECK(rate > 0 && propagation >= 0);
+  fwd_.in_flight.SetPool(pool);
+  rev_.in_flight.SetPool(pool);
   fwd_.from = a;
   fwd_.from_port = port_a;
   fwd_.to = b;
@@ -82,8 +84,8 @@ void Link::SetUp(bool up) {
 }
 
 void Link::KillInFlight(Direction& d) {
-  for (const EventHandle& h : d.in_flight) {
-    if (eq_->Cancel(h)) d.lost++;
+  for (size_t i = 0; i < d.in_flight.size(); ++i) {
+    if (eq_->Cancel(d.in_flight[i])) d.lost++;
   }
   d.in_flight.clear();
 }

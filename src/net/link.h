@@ -8,21 +8,23 @@
 // be abandoned, which is exactly why switches need headroom buffer.
 #pragma once
 
-#include <deque>
-
 #include "common/rng.h"
 #include "common/units.h"
 #include "net/node.h"
 #include "net/packet.h"
 #include "sim/event_queue.h"
+#include "sim/queue_pool.h"
+#include "sim/ring_buffer.h"
 #include "telemetry/event_trace.h"
 
 namespace dcqcn {
 
 class Link {
  public:
+  // `pool` (may be null) backs the in-flight frame ring; Network passes its
+  // per-network QueuePool so steady-state forwarding allocates nothing.
   Link(EventQueue* eq, Node* a, int port_a, Node* b, int port_b, Rate rate,
-       Time propagation);
+       Time propagation, QueuePool* pool = nullptr);
 
   // Begins serializing `p` out of node `from` (must be one of the endpoints
   // and that direction must be idle). On serialization end the link calls
@@ -91,7 +93,7 @@ class Link {
     // Arrival events for frames still propagating, in FIFO arrival order
     // (serialization is sequential, so arrivals cannot reorder). SetUp(false)
     // cancels them.
-    std::deque<EventHandle> in_flight;
+    RingBuffer<EventHandle> in_flight;
   };
 
   void KillInFlight(Direction& d);

@@ -10,7 +10,7 @@ SharedBufferSwitch* Network::AddSwitch(int num_ports,
                                        const SwitchConfig& cfg) {
   const int id = next_node_id_++;
   auto sw = std::make_unique<SharedBufferSwitch>(&eq_, &rng_, id, num_ports,
-                                                 cfg);
+                                                 cfg, &pool_);
   SharedBufferSwitch* raw = sw.get();
   raw->SetTracer(tracer_.get());
   switches_.push_back(std::move(sw));
@@ -21,7 +21,7 @@ SharedBufferSwitch* Network::AddSwitch(int num_ports,
 
 RdmaNic* Network::AddHost(const NicConfig& cfg) {
   const int id = next_node_id_++;
-  auto nic = std::make_unique<RdmaNic>(&eq_, id, cfg);
+  auto nic = std::make_unique<RdmaNic>(&eq_, id, cfg, &pool_);
   RdmaNic* raw = nic.get();
   raw->SetTracer(tracer_.get());
   nics_.push_back(std::move(nic));
@@ -58,7 +58,7 @@ Link* Network::FindLink(int node_a, int node_b) const {
 Link* Network::Connect(Node* a, int port_a, Node* b, int port_b, Rate rate,
                        Time propagation) {
   auto link = std::make_unique<Link>(&eq_, a, port_a, b, port_b, rate,
-                                     propagation);
+                                     propagation, &pool_);
   Link* raw = link.get();
   raw->SetTracer(tracer_.get());
   links_.push_back(std::move(link));

@@ -11,6 +11,7 @@
 #include "net/switch.h"
 #include "nic/rdma_nic.h"
 #include "sim/event_queue.h"
+#include "sim/queue_pool.h"
 #include "telemetry/event_trace.h"
 
 namespace dcqcn {
@@ -21,6 +22,9 @@ class Network {
 
   EventQueue& eq() { return eq_; }
   Rng& rng() { return rng_; }
+  // Shared storage pool behind every switch/link/NIC packet ring in this
+  // network (telemetry: pool().allocated_blocks() flat-lines once warm).
+  QueuePool& pool() { return pool_; }
 
   SharedBufferSwitch* AddSwitch(int num_ports, const SwitchConfig& cfg);
   RdmaNic* AddHost(const NicConfig& cfg);
@@ -86,6 +90,10 @@ class Network {
 
   EventQueue eq_;
   Rng rng_;
+  // Declared before the node containers: the rings inside switches/links/
+  // NICs release their blocks into the pool on destruction, so it must
+  // outlive them (destruction runs in reverse declaration order).
+  QueuePool pool_;
   int next_node_id_ = 0;
   int next_flow_id_ = 0;
   std::vector<std::unique_ptr<SharedBufferSwitch>> switches_;

@@ -5,7 +5,8 @@
 namespace dcqcn {
 
 SharedBufferSwitch::SharedBufferSwitch(EventQueue* eq, Rng* rng, int id,
-                                       int num_ports, SwitchConfig config)
+                                       int num_ports, SwitchConfig config,
+                                       QueuePool* pool)
     : Node(id, num_ports),
       eq_(eq),
       rng_(rng),
@@ -37,6 +38,10 @@ SharedBufferSwitch::SharedBufferSwitch(EventQueue* eq, Rng* rng, int id,
     reserved_headroom_ = 0;
   }
   shared_capacity_ = config_.buffer.total_buffer - reserved_headroom_;
+  for (auto& port_queues : egress_) {
+    for (auto& q : port_queues) q.SetPool(pool);
+  }
+  for (auto& q : pfc_out_) q.SetPool(pool);
   for (auto& a : egress_bytes_) a.fill(0);
   for (auto& a : ecn_marks_) a.fill(0);
   for (auto& a : max_egress_depth_) a.fill(0);

@@ -26,7 +26,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -39,6 +38,8 @@
 #include "net/node.h"
 #include "net/packet.h"
 #include "sim/event_queue.h"
+#include "sim/queue_pool.h"
+#include "sim/ring_buffer.h"
 #include "telemetry/event_trace.h"
 
 namespace dcqcn {
@@ -117,8 +118,11 @@ struct SwitchCounters {
 
 class SharedBufferSwitch : public Node {
  public:
+  // `pool` (may be null) backs the egress and PFC packet rings; Network
+  // passes its per-network QueuePool so steady-state forwarding allocates
+  // nothing.
   SharedBufferSwitch(EventQueue* eq, Rng* rng, int id, int num_ports,
-                     SwitchConfig config);
+                     SwitchConfig config, QueuePool* pool = nullptr);
 
   // Routing: equal-cost output ports toward a destination host. ECMP picks
   // among them by hashing the flow's key with this switch's id.
@@ -197,7 +201,7 @@ class SharedBufferSwitch : public Node {
   Bytes buffer_override_ = 0;  // fault injection; 0 = none
 
   // Indexed [port][priority].
-  std::vector<std::array<std::deque<StoredPacket>, kNumPriorities>> egress_;
+  std::vector<std::array<RingBuffer<StoredPacket>, kNumPriorities>> egress_;
   std::vector<std::array<Bytes, kNumPriorities>> egress_bytes_;
   std::vector<std::array<int64_t, kNumPriorities>> ecn_marks_;
   std::vector<std::array<Bytes, kNumPriorities>> max_egress_depth_;
@@ -218,7 +222,7 @@ class SharedBufferSwitch : public Node {
   std::vector<std::array<QcnCp, kNumPriorities>> qcn_cp_;
 
   // PFC frames awaiting transmission, per port (sent ahead of all data).
-  std::vector<std::deque<Packet>> pfc_out_;
+  std::vector<RingBuffer<Packet>> pfc_out_;
   // The buffered packet currently serializing on each port, if any.
   std::vector<std::optional<StoredPacket>> in_flight_;
 

@@ -5,9 +5,11 @@
 
 namespace dcqcn {
 
-RdmaNic::RdmaNic(EventQueue* eq, int id, NicConfig config)
+RdmaNic::RdmaNic(EventQueue* eq, int id, NicConfig config, QueuePool* pool)
     : Node(id, /*num_ports=*/1), eq_(eq), config_(config) {
   config_.params.Validate();
+  ctrl_out_.SetPool(pool);
+  pfc_out_.SetPool(pool);
 }
 
 RdmaNic::~RdmaNic() {

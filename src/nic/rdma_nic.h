@@ -8,7 +8,6 @@
 // CNP engine).
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -23,6 +22,8 @@
 #include "nic/nic_config.h"
 #include "nic/sender_qp.h"
 #include "sim/event_queue.h"
+#include "sim/queue_pool.h"
+#include "sim/ring_buffer.h"
 #include "telemetry/event_trace.h"
 
 namespace dcqcn {
@@ -44,7 +45,10 @@ struct NicCounters {
 
 class RdmaNic : public Node {
  public:
-  RdmaNic(EventQueue* eq, int id, NicConfig config);
+  // `pool` (may be null) backs the control/PFC transmit rings; Network
+  // passes its per-network QueuePool so steady-state operation allocates
+  // nothing.
+  RdmaNic(EventQueue* eq, int id, NicConfig config, QueuePool* pool = nullptr);
   ~RdmaNic() override;
 
   // Creates a sender QP for `spec` (src_host must be this NIC) and schedules
@@ -128,10 +132,10 @@ class RdmaNic : public Node {
   std::vector<std::unique_ptr<SenderQp>> qps_;
   std::unordered_map<int, SenderQp*> qp_by_flow_;
   std::unordered_map<int, RcvFlow> rcv_flows_;
-  std::deque<Packet> ctrl_out_;
+  RingBuffer<Packet> ctrl_out_;
   // PFC frames from the pause-storm generator; sent ahead of everything and
   // exempt from tx_paused_ (MAC control frames are never subject to PFC).
-  std::deque<Packet> pfc_out_;
+  RingBuffer<Packet> pfc_out_;
   CnpGenerationGate cnp_gate_;
 
   bool tx_paused_[kNumPriorities] = {};

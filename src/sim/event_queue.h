@@ -1,23 +1,28 @@
 // Discrete-event scheduler core.
 //
-// The EventQueue is a binary min-heap keyed on (time, sequence). The sequence
-// number breaks ties deterministically in FIFO order: two events scheduled
-// for the same picosecond fire in the order they were scheduled, which keeps
-// whole simulations reproducible across runs and platforms.
+// Allocation-free in steady state: callbacks live in InlineCallback slots
+// (fixed inline capture storage, no heap fallback), slots are recycled
+// through an intrusive free list, and the ready queue is a 4-ary min-heap of
+// 24-byte entries keyed on (time, sequence). The sequence number breaks ties
+// deterministically in FIFO order: two events scheduled for the same
+// picosecond fire in the order they were scheduled, which keeps whole
+// simulations reproducible across runs and platforms.
 //
-// Events are arbitrary move-constructed callables. Cancellation is handled
-// with tombstones rather than heap surgery: Cancel() marks the entry dead and
-// the entry is skipped (and popped lazily) when it reaches the top.
+// Cancellation is O(1) and hash-free: an EventHandle carries its slot index
+// and the 64-bit sequence number stamped on the slot when the event was
+// armed. Cancel() frees the slot (clearing the stamp); the heap entry
+// becomes a tombstone that is skipped when it reaches the top. Sequence
+// numbers are never reused, so a stale handle — fired or cancelled long ago —
+// can never alias a newer event no matter how often its slot is recycled.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/units.h"
+#include "sim/inline_callback.h"
 
 namespace dcqcn {
 
@@ -28,17 +33,18 @@ class EventQueue;
 class EventHandle {
  public:
   EventHandle() = default;
-  bool valid() const { return id_ != 0; }
+  bool valid() const { return seq_ != 0; }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(uint64_t id) : id_(id) {}
-  uint64_t id_ = 0;
+  EventHandle(uint32_t slot, uint64_t seq) : slot_(slot), seq_(seq) {}
+  uint32_t slot_ = 0;
+  uint64_t seq_ = 0;  // 0 = refers to nothing
 };
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
@@ -47,53 +53,53 @@ class EventQueue {
   // Current simulated time. Advances monotonically as events run.
   Time Now() const { return now_; }
 
-  // Schedules `cb` to run at absolute time `at` (must be >= Now()).
-  EventHandle ScheduleAt(Time at, Callback cb) {
+  // Schedules `cb` to run at absolute time `at` (must be >= Now()). The
+  // callable's capture must fit InlineCallback::kCapacity (compile-time
+  // checked).
+  template <typename F>
+  EventHandle ScheduleAt(Time at, F&& cb) {
     DCQCN_CHECK(at >= now_);
-    const uint64_t id = next_id_++;
-    heap_.push(Entry{at, id, std::move(cb)});
-    pending_.insert(id);
-    return EventHandle{id};
+    const uint32_t slot = AllocSlot();
+    const uint64_t seq = next_seq_++;
+    Slot& s = slots_[slot];
+    s.cb.Emplace(std::forward<F>(cb));
+    s.armed_seq = seq;
+    HeapPush(HeapEntry{at, seq, slot});
+    ++live_;
+    return EventHandle{slot, seq};
   }
 
   // Schedules `cb` to run `delay` from now.
-  EventHandle ScheduleIn(Time delay, Callback cb) {
+  template <typename F>
+  EventHandle ScheduleIn(Time delay, F&& cb) {
     DCQCN_CHECK(delay >= 0);
-    return ScheduleAt(now_ + delay, std::move(cb));
+    return ScheduleAt(now_ + delay, std::forward<F>(cb));
   }
 
   // Cancels a pending event. Returns true if the event had not yet fired and
-  // was cancelled; false for stale, fired, or default handles.
+  // was cancelled; false for stale, fired, or default handles. O(1): the
+  // slot is freed immediately and the heap entry dies in place, to be
+  // skipped (and popped lazily) when it reaches the top.
   bool Cancel(EventHandle h) {
     if (!h.valid()) return false;
-    if (pending_.erase(h.id_) == 0) return false;
-    cancelled_.insert(h.id_);
+    Slot& s = slots_[h.slot_];
+    if (s.armed_seq != h.seq_) return false;
+    s.cb.Reset();
+    FreeSlot(h.slot_);
+    --live_;
     return true;
   }
 
   // True if no runnable (non-cancelled) events remain.
-  bool Empty() const { return pending_.empty(); }
+  bool Empty() const { return live_ == 0; }
 
-  size_t PendingEvents() const { return pending_.size(); }
+  size_t PendingEvents() const { return live_; }
 
   // Runs the next event; returns false if the queue had no live events.
   bool RunOne() {
-    while (!heap_.empty()) {
-      if (auto c = cancelled_.find(heap_.top().id); c != cancelled_.end()) {
-        cancelled_.erase(c);
-        heap_.pop();
-        continue;
-      }
-      // Move the entry out before running: the callback may schedule.
-      Entry e = std::move(const_cast<Entry&>(heap_.top()));
-      heap_.pop();
-      DCQCN_CHECK(e.at >= now_);
-      now_ = e.at;
-      pending_.erase(e.id);
-      e.cb();
-      return true;
-    }
-    return false;
+    if (!SkipDeadTop()) return false;
+    FireTop();
+    return true;
   }
 
   // Runs events until the queue drains or the next live event lies beyond
@@ -102,14 +108,8 @@ class EventQueue {
   // earlier (then Now() is advanced to `deadline` as well).
   uint64_t RunUntil(Time deadline) {
     uint64_t n = 0;
-    while (!heap_.empty()) {
-      if (auto c = cancelled_.find(heap_.top().id); c != cancelled_.end()) {
-        cancelled_.erase(c);
-        heap_.pop();
-        continue;
-      }
-      if (heap_.top().at > deadline) break;
-      RunOne();
+    while (SkipDeadTop() && heap_[0].at <= deadline) {
+      FireTop();
       ++n;
     }
     if (now_ < deadline) now_ = deadline;
@@ -123,24 +123,119 @@ class EventQueue {
     return n;
   }
 
- private:
-  struct Entry {
-    Time at;
-    uint64_t id;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
+  // Pre-sizes slot and heap storage for `events` concurrent events, so even
+  // the first simulated moments allocate nothing. Growth past the
+  // reservation is amortized as usual.
+  void Reserve(size_t events) {
+    heap_.reserve(events);
+    if (slots_.size() < events) {
+      const auto first = static_cast<uint32_t>(slots_.size());
+      slots_.resize(events);
+      for (uint32_t i = first; i < slots_.size(); ++i) FreeSlot(i);
     }
+  }
+
+ private:
+  struct Slot {
+    InlineCallback cb;
+    uint64_t armed_seq = 0;  // 0 = free; else the armed event's sequence
+    uint32_t next_free = 0;  // intrusive free list link
+  };
+  struct HeapEntry {
+    Time at;
+    uint64_t seq;
+    uint32_t slot;
   };
 
+  static constexpr uint32_t kNoFreeSlot = ~0u;
+
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  uint32_t AllocSlot() {
+    if (free_head_ != kNoFreeSlot) {
+      const uint32_t slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+      return slot;
+    }
+    slots_.emplace_back();  // amortized growth; steady state hits free list
+    return static_cast<uint32_t>(slots_.size() - 1);
+  }
+
+  void FreeSlot(uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.armed_seq = 0;
+    s.next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  // 4-ary min-heap: shallower than a binary heap and the four children of a
+  // node share a cache line's worth of 24-byte entries.
+  void HeapPush(HeapEntry e) {
+    heap_.push_back(e);
+    size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const size_t parent = (i - 1) >> 2;
+      if (!Earlier(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void HeapPopMin() {
+    const HeapEntry e = heap_.back();
+    heap_.pop_back();
+    const size_t n = heap_.size();
+    if (n == 0) return;
+    size_t i = 0;
+    for (;;) {
+      const size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      size_t best = first;
+      const size_t last = first + 4 < n ? first + 4 : n;
+      for (size_t c = first + 1; c < last; ++c) {
+        if (Earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!Earlier(heap_[best], e)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+  }
+
+  // Pops cancelled entries off the top; returns true if a live event
+  // remains. The single pruning point: RunOne/RunUntil/RunAll all drain
+  // through here exactly once per pop.
+  bool SkipDeadTop() {
+    while (!heap_.empty() && slots_[heap_[0].slot].armed_seq != heap_[0].seq) {
+      HeapPopMin();
+    }
+    return !heap_.empty();
+  }
+
+  // Pre: heap top is live. Frees the slot before invoking so the callback
+  // may immediately schedule (possibly into the same slot) or cancel.
+  void FireTop() {
+    const HeapEntry e = heap_[0];
+    HeapPopMin();
+    DCQCN_DCHECK(e.at >= now_);
+    now_ = e.at;
+    Slot& s = slots_[e.slot];
+    InlineCallback cb = std::move(s.cb);
+    FreeSlot(e.slot);
+    --live_;
+    cb();
+  }
+
   Time now_ = 0;
-  uint64_t next_id_ = 1;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<uint64_t> pending_;    // scheduled, not yet fired
-  std::unordered_set<uint64_t> cancelled_;  // tombstones awaiting pop
+  uint64_t next_seq_ = 1;
+  size_t live_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoFreeSlot;
 };
 
 }  // namespace dcqcn

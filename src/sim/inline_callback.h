@@ -1,0 +1,123 @@
+// Small-buffer callable for the event core.
+//
+// InlineCallback stores any void() callable inside a fixed inline buffer —
+// there is deliberately no heap fallback. A capture that does not fit fails
+// to compile (static_assert), which keeps the schedule→fire path free of
+// allocation by construction: growing a capture past the limit is an
+// engine-level decision, not something a caller can do silently. See
+// DESIGN.md §"Event core" for the capture-size contract.
+//
+// Callables whose captures are trivially copyable (every simulator hot-path
+// lambda: `this` pointers, ints, a Packet by value) relocate with memcpy and
+// need no destructor call; non-trivial callables (e.g. a std::function used
+// by a test) get their move constructor and destructor invoked through a
+// per-type ops table.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dcqcn {
+
+class InlineCallback {
+ public:
+  // Bytes of inline capture storage. The largest simulator capture is the
+  // link-arrival lambda ([this, &direction, Packet-by-value] ≈ 80 bytes);
+  // the slack above that is headroom for new callers, not a tuning knob.
+  static constexpr size_t kCapacity = 104;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    Emplace(std::forward<F>(f));
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  template <typename F>
+  void Emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "callback capture exceeds InlineCallback::kCapacity; "
+                  "shrink the capture or raise the engine-wide limit "
+                  "(DESIGN.md, Event core)");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callback capture is over-aligned for InlineCallback");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callback must be nothrow move constructible");
+    Reset();
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    ops_ = OpsFor<Fn>();
+  }
+
+  // Callable while non-empty; calling an empty InlineCallback is UB (the
+  // event queue never does).
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void Reset() {
+    if (ops_ != nullptr && ops_->destroy != nullptr) ops_->destroy(buf_);
+    ops_ = nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Null for trivially relocatable callables (memcpy path).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static const Ops* OpsFor() {
+    static constexpr Ops ops = {
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        std::is_trivially_copyable_v<Fn>
+            ? nullptr
+            : +[](void* dst, void* src) {
+                ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+                static_cast<Fn*>(src)->~Fn();
+              },
+        std::is_trivially_destructible_v<Fn>
+            ? nullptr
+            : +[](void* p) { static_cast<Fn*>(p)->~Fn(); },
+    };
+    return &ops;
+  }
+
+  void MoveFrom(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+      } else {
+        std::memcpy(buf_, other.buf_, kCapacity);
+      }
+    }
+    other.ops_ = nullptr;
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kCapacity];
+};
+
+}  // namespace dcqcn

@@ -1,0 +1,96 @@
+// Free-list pool of raw storage blocks for the simulator's hot queues.
+//
+// One QueuePool per Network: every RingBuffer in that network's switches,
+// links and NICs draws its backing storage here. Blocks are bucketed by
+// power-of-two size class and recycled on an intrusive LIFO free list, so a
+// transient burst that grows one queue leaves storage behind for the next
+// queue that bursts instead of another malloc. The pool itself only calls
+// ::operator new when a size class's free list is empty — i.e. the first
+// time the network reaches a new high-water mark — which is what makes
+// steady-state forwarding allocation-free.
+//
+// Single-threaded by design, like everything else hanging off one
+// EventQueue; the parallel runner gives each trial its own Network and
+// therefore its own pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+#include "common/check.h"
+
+namespace dcqcn {
+
+class QueuePool {
+ public:
+  QueuePool() = default;
+  QueuePool(const QueuePool&) = delete;
+  QueuePool& operator=(const QueuePool&) = delete;
+
+  ~QueuePool() {
+    for (FreeBlock*& head : free_) {
+      while (head != nullptr) {
+        FreeBlock* next = head->next;
+        ::operator delete(static_cast<void*>(head));
+        head = next;
+      }
+    }
+  }
+
+  // Returns a block of at least `bytes` (rounded up to the size class).
+  void* Acquire(size_t bytes) {
+    const int cls = SizeClass(bytes);
+    if (free_[cls] != nullptr) {
+      FreeBlock* b = free_[cls];
+      free_[cls] = b->next;
+      ++reused_blocks_;
+      return b;
+    }
+    ++allocated_blocks_;
+    allocated_bytes_ += ClassBytes(cls);
+    return ::operator new(ClassBytes(cls));
+  }
+
+  // Returns a block obtained from Acquire(`bytes`) — the same `bytes` value,
+  // so it lands back in its size class.
+  void Release(void* p, size_t bytes) {
+    if (p == nullptr) return;
+    const int cls = SizeClass(bytes);
+    auto* b = static_cast<FreeBlock*>(p);
+    b->next = free_[cls];
+    free_[cls] = b;
+  }
+
+  // Telemetry: how many blocks ever hit ::operator new vs the free list.
+  int64_t allocated_blocks() const { return allocated_blocks_; }
+  int64_t reused_blocks() const { return reused_blocks_; }
+  int64_t allocated_bytes() const { return allocated_bytes_; }
+
+ private:
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+
+  static constexpr int kMinShift = 6;  // 64-byte minimum block
+  static constexpr int kNumClasses = 58 - kMinShift;
+
+  static int SizeClass(size_t bytes) {
+    DCQCN_CHECK(bytes > 0);
+    int cls = 0;
+    while (ClassBytes(cls) < bytes) ++cls;
+    DCQCN_CHECK(cls < kNumClasses);
+    return cls;
+  }
+
+  static constexpr size_t ClassBytes(int cls) {
+    return static_cast<size_t>(1) << (kMinShift + cls);
+  }
+
+  FreeBlock* free_[kNumClasses] = {};
+  int64_t allocated_blocks_ = 0;
+  int64_t reused_blocks_ = 0;
+  int64_t allocated_bytes_ = 0;
+};
+
+}  // namespace dcqcn

@@ -1,0 +1,133 @@
+// Reusable FIFO ring buffer for the per-packet hot queues.
+//
+// Replaces std::deque in the forwarding path: contiguous power-of-two
+// storage addressed by monotonically increasing head/tail counters (masking
+// gives the physical index), so push_back/pop_front are a store and an
+// increment — no chunk map, no per-node allocation. Storage grows by
+// doubling and is drawn from the owning Network's QueuePool when one is
+// attached, so after warm-up a steady-state simulation never allocates; the
+// buffer never shrinks while alive and returns its block to the pool on
+// destruction.
+//
+// Restricted to trivially copyable element types (Packet, StoredPacket,
+// EventHandle): relocation on growth is a pair of memcpys and pop_front
+// needs no destructor call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+#include "common/check.h"
+#include "sim/queue_pool.h"
+
+namespace dcqcn {
+
+template <typename T>
+class RingBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "RingBuffer relocates with memcpy");
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "RingBuffer storage is max_align_t aligned");
+
+ public:
+  RingBuffer() = default;
+  explicit RingBuffer(QueuePool* pool) : pool_(pool) {}
+
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  ~RingBuffer() {
+    if (data_ == nullptr) return;
+    if (pool_ != nullptr) {
+      pool_->Release(data_, cap_ * sizeof(T));
+    } else {
+      ::operator delete(static_cast<void*>(data_));
+    }
+  }
+
+  // Attaches the backing pool; must happen before the first push (the
+  // containers holding these buffers default-construct them, then the owner
+  // wires the network's pool in).
+  void SetPool(QueuePool* pool) {
+    DCQCN_CHECK(data_ == nullptr);
+    pool_ = pool;
+  }
+
+  bool empty() const { return head_ == tail_; }
+  size_t size() const { return static_cast<size_t>(tail_ - head_); }
+  size_t capacity() const { return cap_; }
+
+  void push_back(const T& v) {
+    if (size() == cap_) Grow();
+    data_[tail_ & mask_] = v;
+    ++tail_;
+  }
+
+  T& front() {
+    DCQCN_DCHECK(!empty());
+    return data_[head_ & mask_];
+  }
+  const T& front() const {
+    DCQCN_DCHECK(!empty());
+    return data_[head_ & mask_];
+  }
+
+  void pop_front() {
+    DCQCN_DCHECK(!empty());
+    ++head_;
+  }
+
+  // i-th element from the front (0 = front()).
+  T& operator[](size_t i) {
+    DCQCN_DCHECK(i < size());
+    return data_[(head_ + i) & mask_];
+  }
+  const T& operator[](size_t i) const {
+    DCQCN_DCHECK(i < size());
+    return data_[(head_ + i) & mask_];
+  }
+
+  void clear() { head_ = tail_ = 0; }
+
+ private:
+  static constexpr size_t kInitialCapacity = 8;
+
+  void Grow() {
+    const size_t new_cap = cap_ == 0 ? kInitialCapacity : cap_ * 2;
+    T* fresh = static_cast<T*>(
+        pool_ != nullptr ? pool_->Acquire(new_cap * sizeof(T))
+                         : ::operator new(new_cap * sizeof(T)));
+    const size_t n = size();
+    if (n > 0) {
+      // Linearize into the new block: [head..end-of-old) then the wrap.
+      const size_t head_idx = static_cast<size_t>(head_) & mask_;
+      const size_t first = n < cap_ - head_idx ? n : cap_ - head_idx;
+      std::memcpy(fresh, data_ + head_idx, first * sizeof(T));
+      std::memcpy(fresh + first, data_, (n - first) * sizeof(T));
+    }
+    if (data_ != nullptr) {
+      if (pool_ != nullptr) {
+        pool_->Release(data_, cap_ * sizeof(T));
+      } else {
+        ::operator delete(static_cast<void*>(data_));
+      }
+    }
+    data_ = fresh;
+    cap_ = new_cap;
+    mask_ = new_cap - 1;
+    head_ = 0;
+    tail_ = n;
+  }
+
+  T* data_ = nullptr;
+  size_t cap_ = 0;
+  size_t mask_ = 0;
+  uint64_t head_ = 0;  // monotonic; physical index = head_ & mask_
+  uint64_t tail_ = 0;
+  QueuePool* pool_ = nullptr;
+};
+
+}  // namespace dcqcn

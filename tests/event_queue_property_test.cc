@@ -1,0 +1,152 @@
+// Property test for the allocation-free event core: random
+// schedule/cancel/reschedule/run interleavings checked against a naive
+// reference model (an append-only vector popped by linear scan for the
+// earliest live (time, sequence) entry). Any divergence in fire order,
+// cancel results, pending counts, or the clock is a determinism bug — the
+// exact class of bug the slot/generation cancel scheme could introduce.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace dcqcn {
+namespace {
+
+// Reference model: every scheduled event in arrival order. `seq` mirrors the
+// FIFO tie-break; fire order is "smallest (at, seq) among live entries".
+struct RefEvent {
+  Time at = 0;
+  uint64_t seq = 0;
+  int token = 0;
+  bool live = false;
+};
+
+class ReferenceModel {
+ public:
+  // Returns the model's sequence stamp for the new event.
+  uint64_t Schedule(Time at, int token) {
+    events_.push_back(RefEvent{at, next_seq_, token, true});
+    return next_seq_++;
+  }
+
+  // Mirrors EventQueue::Cancel: true only for a still-live event.
+  bool Cancel(uint64_t seq) {
+    for (RefEvent& e : events_) {
+      if (e.seq != seq) continue;
+      const bool was_live = e.live;
+      e.live = false;
+      return was_live;
+    }
+    return false;
+  }
+
+  // Pops the earliest live event (by time, then schedule order), or nullptr.
+  const RefEvent* PopNext() {
+    RefEvent* best = nullptr;
+    for (RefEvent& e : events_) {
+      if (!e.live) continue;
+      if (best == nullptr || e.at < best->at ||
+          (e.at == best->at && e.seq < best->seq)) {
+        best = &e;
+      }
+    }
+    if (best != nullptr) best->live = false;
+    return best;
+  }
+
+  size_t LiveCount() const {
+    size_t n = 0;
+    for (const RefEvent& e : events_) n += e.live ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::vector<RefEvent> events_;
+  uint64_t next_seq_ = 1;
+};
+
+struct Scheduled {
+  EventHandle handle;
+  uint64_t ref_seq = 0;
+};
+
+TEST(EventQueueProperty, RandomChurnMatchesReferenceModel) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EventQueue eq;
+    ReferenceModel ref;
+    Rng rng(seed);
+
+    std::vector<Scheduled> scheduled;  // every handle ever issued
+    std::vector<int> fired;            // tokens in actual fire order
+    std::vector<int> expected;         // tokens in reference fire order
+    int next_token = 0;
+
+    const int kOps = 4000;
+    for (int op = 0; op < kOps; ++op) {
+      const int64_t roll = rng.UniformInt(0, 99);
+      if (roll < 55) {
+        // Schedule at a clustered offset: many exact ties, some far-out
+        // stragglers that stay pending across run bursts.
+        const Time at =
+            eq.Now() + (rng.UniformInt(0, 9) == 0
+                            ? rng.UniformInt(0, 5000)
+                            : rng.UniformInt(0, 7));
+        const int token = next_token++;
+        Scheduled s;
+        s.handle = eq.ScheduleAt(at, [&fired, token] {
+          fired.push_back(token);
+        });
+        s.ref_seq = ref.Schedule(at, token);
+        scheduled.push_back(s);
+      } else if (roll < 75 && !scheduled.empty()) {
+        // Cancel a random handle — possibly live, possibly long fired or
+        // already cancelled. Results must agree exactly.
+        const auto i = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(scheduled.size()) - 1));
+        EXPECT_EQ(eq.Cancel(scheduled[i].handle),
+                  ref.Cancel(scheduled[i].ref_seq));
+      } else if (roll < 85 && !scheduled.empty()) {
+        // Reschedule: cancel + schedule the same token later (the NIC timer
+        // re-arm idiom).
+        const auto i = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(scheduled.size()) - 1));
+        EXPECT_EQ(eq.Cancel(scheduled[i].handle),
+                  ref.Cancel(scheduled[i].ref_seq));
+        const Time at = eq.Now() + rng.UniformInt(0, 15);
+        const int token = next_token++;
+        Scheduled s;
+        s.handle = eq.ScheduleAt(at, [&fired, token] {
+          fired.push_back(token);
+        });
+        s.ref_seq = ref.Schedule(at, token);
+        scheduled.push_back(s);
+      } else {
+        // Run a burst of events, mirroring each pop in the reference model.
+        const int64_t burst = rng.UniformInt(1, 5);
+        for (int64_t b = 0; b < burst; ++b) {
+          const RefEvent* e = ref.PopNext();
+          const bool ran = eq.RunOne();
+          EXPECT_EQ(ran, e != nullptr);
+          if (e == nullptr) break;
+          expected.push_back(e->token);
+          EXPECT_EQ(eq.Now(), e->at);
+        }
+      }
+      EXPECT_EQ(eq.PendingEvents(), ref.LiveCount());
+      EXPECT_EQ(eq.Empty(), ref.LiveCount() == 0);
+    }
+
+    // Drain everything that's left.
+    while (const RefEvent* e = ref.PopNext()) expected.push_back(e->token);
+    eq.RunAll();
+    EXPECT_TRUE(eq.Empty());
+    EXPECT_EQ(fired, expected);
+  }
+}
+
+}  // namespace
+}  // namespace dcqcn

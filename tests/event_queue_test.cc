@@ -231,6 +231,64 @@ TEST(EventQueue, CancelEverythingLeavesCleanQueue) {
   EXPECT_TRUE(ran);
 }
 
+TEST(EventQueue, ScheduleFromCallbackAtSameTimestamp) {
+  // Regression: the old core moved the entry out of priority_queue::top()
+  // via const_cast before running it; a callback that scheduled at the same
+  // timestamp could push into the heap mid-move. The new core pops first,
+  // so scheduling from inside a firing callback — even at Now(), even
+  // forcing heap growth — must interleave correctly: events already queued
+  // for this timestamp run before the newcomers (FIFO tie-break).
+  EventQueue eq;
+  std::vector<int> order;
+  eq.ScheduleAt(Nanoseconds(10), [&] {
+    order.push_back(0);
+    eq.ScheduleAt(Nanoseconds(10), [&] { order.push_back(2); });
+    eq.ScheduleAt(eq.Now(), [&] { order.push_back(3); });
+  });
+  eq.ScheduleAt(Nanoseconds(10), [&] { order.push_back(1); });
+  eq.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(eq.Now(), Nanoseconds(10));
+}
+
+TEST(EventQueue, ScheduleBurstFromCallbackForcesHeapGrowth) {
+  // Same hazard, growth flavor: a single firing callback schedules far more
+  // events than the heap holds, forcing reallocation while the fired entry
+  // is live. All of them run, in FIFO order within each timestamp.
+  EventQueue eq;
+  int fired = 0;
+  std::vector<int> same_ts_order;
+  eq.ScheduleAt(Nanoseconds(5), [&] {
+    for (int i = 0; i < 1000; ++i) {
+      eq.ScheduleAt(Nanoseconds(5 + i % 3), [&fired] { ++fired; });
+    }
+    for (int i = 0; i < 100; ++i) {
+      eq.ScheduleAt(Nanoseconds(5), [&same_ts_order, i] {
+        same_ts_order.push_back(i);
+      });
+    }
+  });
+  eq.RunAll();
+  EXPECT_EQ(fired, 1000);
+  ASSERT_EQ(same_ts_order.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(same_ts_order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, CancelFiredHandleWhoseSlotWasReused) {
+  // Slot recycling must not let a stale handle cancel the slot's new
+  // occupant: handles carry the armed event's unique sequence number.
+  EventQueue eq;
+  EventHandle first = eq.ScheduleAt(Nanoseconds(1), [] {});
+  eq.RunAll();  // `first` fired; its slot returns to the free list
+  bool ran = false;
+  eq.ScheduleAt(Nanoseconds(2), [&ran] { ran = true; });  // reuses the slot
+  EXPECT_FALSE(eq.Cancel(first));
+  eq.RunAll();
+  EXPECT_TRUE(ran);
+}
+
 TEST(EventQueue, ClockMonotoneAcrossManyRandomEvents) {
   EventQueue eq;
   Time last = -1;

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a perf_microbench run against BENCH_PR4.json.
+
+Usage:
+    perf_microbench --benchmark_filter=... --benchmark_repetitions=3 \
+        --benchmark_report_aggregates_only=true --benchmark_format=json \
+        > run.json
+    python3 tools/check_perf_regression.py run.json BENCH_PR4.json
+
+Exits non-zero if any benchmark named in the baseline's "post" table is
+slower than baseline * max_regression (default 2.0). The factor is loose on
+purpose: shared CI runners are noisy, and the gate exists to catch a
+reintroduced O(log n)-with-hashing scheduler or an allocation storm — 2x-cl
+regressions — not a few percent of drift. Benchmarks present in the run but
+absent from the baseline are ignored; baseline entries missing from the run
+are errors (the gate must not silently stop covering a benchmark).
+"""
+
+import json
+import sys
+
+
+def medians(report):
+    """run_name -> median real_time from an aggregates-only benchmark JSON."""
+    out = {}
+    for b in report.get("benchmarks", []):
+        # With repetitions, gate on the median aggregate; a plain run (no
+        # aggregates) falls back to the single measurement.
+        if b.get("aggregate_name", "median") == "median":
+            out[b.get("run_name", b.get("name"))] = float(b["real_time"])
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        run = medians(json.load(f))
+    with open(sys.argv[2]) as f:
+        baseline_doc = json.load(f)
+    baseline = baseline_doc["post"]
+    max_regression = float(baseline_doc.get("max_regression", 2.0))
+
+    failures = []
+    for name, base_ns in sorted(baseline.items()):
+        if name not in run:
+            failures.append(f"{name}: missing from the benchmark run")
+            continue
+        ratio = run[name] / base_ns
+        verdict = "FAIL" if ratio > max_regression else "ok"
+        print(f"{verdict:4} {name}: {run[name]:.1f} ns vs baseline "
+              f"{base_ns:.1f} ns ({ratio:.2f}x, limit {max_regression:.1f}x)")
+        if ratio > max_regression:
+            failures.append(f"{name}: {ratio:.2f}x over baseline")
+
+    if failures:
+        print("\nperf-smoke FAILED:", "; ".join(failures), file=sys.stderr)
+        sys.exit(1)
+    print("\nperf-smoke passed")
+
+
+if __name__ == "__main__":
+    main()
