@@ -1,3 +1,4 @@
+#include <chrono>
 #include <memory>
 
 #include "bench/common.h"
@@ -198,6 +199,106 @@ TrafficResult RunBenchmarkTraffic(TransportMode mode, int incast_degree,
   res.total_pauses = net.TotalPauseFramesSent();
   res.drops = net.TotalDrops();
   return res;
+}
+
+std::vector<ScaleCase> ScaleCases(bool smoke) {
+  const Time unit = smoke ? Microseconds(100) : Milliseconds(1);
+  std::vector<ScaleCase> cases;
+  // Paper testbed shape (Fig. 2): 4 ToRs, 20 hosts.
+  cases.push_back({"paper_4tor_20h", ClosShape{}, 2, 4 * unit});
+  // 8 ToRs / 64 hosts.
+  cases.push_back({"mid_8tor_64h",
+                   ClosShape{.pods = 4, .tors_per_pod = 2, .leaves_per_pod = 2,
+                             .spines = 4, .hosts_per_tor = 8},
+                   2, 2 * unit});
+  // 16 ToRs / 256 hosts / 1024 flows.
+  cases.push_back({"large_16tor_256h",
+                   ClosShape{.pods = 4, .tors_per_pod = 4, .leaves_per_pod = 4,
+                             .spines = 8, .hosts_per_tor = 16},
+                   4, unit});
+  // 32 ToRs / 512 hosts / 1024 flows — the headline scale target.
+  cases.push_back({"xlarge_32tor_512h",
+                   ClosShape{.pods = 8, .tors_per_pod = 4, .leaves_per_pod = 4,
+                             .spines = 8, .hosts_per_tor = 16},
+                   2, unit});
+  return cases;
+}
+
+runner::TrialSpec ScaleTrial(const ScaleCase& c,
+                             std::vector<double>* wall_seconds) {
+  runner::TrialSpec spec;
+  spec.name = c.name;
+  spec.run = [c, wall_seconds](const runner::TrialContext& ctx) {
+    Network net(ctx.seed);
+    const ClosTopology topo = BuildClos(net, c.shape, TopologyOptions{});
+    const std::vector<RdmaNic*> hosts = AllHosts(topo);
+    const int n = static_cast<int>(hosts.size());
+    const int hpt = c.shape.hosts_per_tor;
+    const int num_tors = c.shape.num_tors();
+
+    // Traffic draws come from a stream distinct from the network's own
+    // (RED marking etc.) so adding a flow never perturbs wire randomness.
+    Rng traffic(runner::DeriveTrialSeed(ctx.seed, 0x5ca1e));
+    struct FlowRef {
+      RdmaNic* dst;
+      int flow_id;
+    };
+    std::vector<FlowRef> flows;
+    flows.reserve(static_cast<size_t>(n) * c.flows_per_host);
+    for (int i = 0; i < n; ++i) {
+      const int tor = i / hpt;
+      for (int f = 0; f < c.flows_per_host; ++f) {
+        int dst;
+        if (f == 0) {
+          // Deterministic hpt:1 incast into the next ToR's first host —
+          // guarantees sustained congestion, so CNPs flow and every QP's
+          // alpha/rate timers stay armed (the load the timer wheel exists
+          // for).
+          dst = ((tor + 1) % num_tors) * hpt;
+        } else {
+          do {
+            dst = static_cast<int>(traffic.UniformInt(0, n - 1));
+          } while (dst / hpt == tor);
+        }
+        FlowSpec fs;
+        fs.flow_id = net.NextFlowId();
+        fs.src_host = hosts[static_cast<size_t>(i)]->id();
+        fs.dst_host = hosts[static_cast<size_t>(dst)]->id();
+        fs.size_bytes = 0;  // unbounded: concurrent for the whole window
+        fs.mode = TransportMode::kRdmaDcqcn;
+        fs.ecmp_salt = traffic.NextU64();
+        net.StartFlow(fs);
+        flows.push_back({hosts[static_cast<size_t>(dst)], fs.flow_id});
+      }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t events = net.eq().RunUntil(c.duration);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (wall_seconds != nullptr) {
+      (*wall_seconds)[ctx.trial_index] =
+          std::chrono::duration<double>(t1 - t0).count();
+    }
+
+    int64_t delivered = 0;
+    for (const FlowRef& fr : flows) {
+      delivered += fr.dst->ReceiverDeliveredBytes(fr.flow_id);
+    }
+
+    runner::TrialResult r;
+    r.counters["hosts"] = n;
+    r.counters["flows"] = static_cast<int64_t>(flows.size());
+    r.counters["events"] = static_cast<int64_t>(events);
+    r.counters["delivered_bytes"] = delivered;
+    r.counters["cnps"] = net.TotalCnpsSent();
+    r.counters["drops"] = net.TotalDrops();
+    r.counters["pause_frames"] = net.TotalPauseFramesSent();
+    r.metrics["sim_ms"] = ToSeconds(c.duration) * 1e3;
+    r.metrics["agg_goodput_gbps"] =
+        8.0 * static_cast<double>(delivered) / ToSeconds(c.duration) / 1e9;
+    return r;
+  };
+  return spec;
 }
 
 }  // namespace bench

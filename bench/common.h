@@ -7,10 +7,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/params.h"
 #include "net/topology.h"
+#include "runner/runner.h"
 #include "stats/stats.h"
 #include "trace/workload.h"
 
@@ -76,6 +78,34 @@ struct IncastResult {
 IncastResult RunIncast(int k, uint64_t seed = 8);
 
 inline TopologyOptions DefaultTopo() { return TopologyOptions{}; }
+
+// ---------- ext_scale: large-Clos scaling sweep ----------
+//
+// One trial = one Clos fabric under sustained cross-ToR DCQCN load: every
+// host opens `flows_per_host` unbounded flows (one deterministic incast
+// into the neighbor ToR's first host so CNP/alpha/rate timers stay armed,
+// the rest to seed-drawn hosts in other ToRs). The trial reports events
+// executed and delivered bytes — all deterministic, so the runner's
+// jobs=1 ≡ jobs=8 byte-identity holds. Wall-clock throughput
+// (sim-sec/wall-sec, events/sec) is written to the optional side table
+// indexed by trial_index, never into the TrialResult.
+struct ScaleCase {
+  std::string name;
+  ClosShape shape;
+  int flows_per_host = 2;
+  Time duration = Milliseconds(1);
+};
+
+// The sweep from paper scale (4 ToRs / 20 hosts) to 32 ToRs / 512 hosts /
+// 1024 concurrent flows. `smoke` keeps every shape but cuts the simulated
+// window 10x for CI.
+std::vector<ScaleCase> ScaleCases(bool smoke);
+
+// `wall_seconds`, when non-null, must be pre-sized to the matrix size; the
+// trial body writes its run-loop wall time into slot trial_index (distinct
+// slots, so concurrent trials never race).
+runner::TrialSpec ScaleTrial(const ScaleCase& c,
+                             std::vector<double>* wall_seconds);
 
 // Convenience quantile printers.
 inline double Q(const Cdf& c, double p) {

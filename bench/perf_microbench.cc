@@ -132,6 +132,122 @@ void BM_SwitchHotPath(benchmark::State& state) {
 }
 BENCHMARK(BM_SwitchHotPath)->Arg(0)->Arg(1);
 
+void BM_TimerWheelPeriodic(benchmark::State& state) {
+  // Dense short-horizon periodic timer load: Arg self-rearming timers with
+  // DCQCN-like ~55 us periods, 10 simulated ms. This is the access pattern
+  // the hierarchical timer wheel serves in O(1) per event where the binary
+  // heap pays O(log n) twice (push + pop) at n = Arg pending timers.
+  // Baseline practice: run with --benchmark_repetitions=3 and record the
+  // median (see BENCH_PR5.json).
+  const int n = static_cast<int>(state.range(0));
+  struct PeriodicTimer {
+    EventQueue* eq;
+    Time period;
+    int64_t* fired;
+    void Arm() {
+      eq->ScheduleIn(period, [this] {
+        ++*fired;
+        Arm();
+      });
+    }
+  };
+  int64_t fired = 0;
+  for (auto _ : state) {
+    EventQueue eq;
+    eq.Reserve(static_cast<size_t>(n) + 8);
+    std::vector<PeriodicTimer> timers(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      // Spread periods a little so fires don't all land on one instant.
+      timers[static_cast<size_t>(i)] = {
+          &eq, Microseconds(55) + Nanoseconds(13) * i, &fired};
+      timers[static_cast<size_t>(i)].Arm();
+    }
+    eq.RunUntil(Milliseconds(10));
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(fired);
+}
+BENCHMARK(BM_TimerWheelPeriodic)->Arg(1024)->Arg(4096);
+
+void BM_NicTimerTick(benchmark::State& state) {
+  // The NIC-side DCQCN timer machinery in isolation: 256 QPs on one host,
+  // each re-CNP'd every iteration so its alpha + rate-increase timers stay
+  // armed and firing, on a link slow enough that (re)transmissions never
+  // produce packet events inside the measured window. Post-PR this is one
+  // batched per-NIC tick walking an intrusive list; pre-PR it is 512
+  // individual heap events per 55 us.
+  const int kQps = 256;
+  TopologyOptions topo_opts;
+  topo_opts.link_rate = kKbps;  // 1 KB packet = 8 s serialization: inert
+  Network net(1);
+  StarTopology topo = BuildStar(net, 2, topo_opts);
+  std::vector<SenderQp*> qps;
+  for (int i = 0; i < kQps; ++i) {
+    FlowSpec f;
+    f.flow_id = i;
+    f.src_host = topo.hosts[0]->id();
+    f.dst_host = topo.hosts[1]->id();
+    f.size_bytes = 0;
+    f.mode = TransportMode::kRdmaDcqcn;
+    qps.push_back(net.StartFlow(f));
+  }
+  net.RunFor(Microseconds(1));  // past flow starts
+  for (auto _ : state) {
+    const Time now = net.eq().Now();
+    for (SenderQp* qp : qps) qp->OnCnp(now);
+    net.RunFor(Microseconds(500));  // ~9 alpha + ~9 rate fires per QP
+  }
+  state.SetItemsProcessed(state.iterations() * kQps);
+}
+BENCHMARK(BM_NicTimerTick);
+
+void BM_LargeClosThroughput(benchmark::State& state) {
+  // The headline scale target: one simulated 300 us slice of a 32-ToR /
+  // 512-host / 1024-flow Clos under cross-ToR incast + random traffic
+  // (bench/ext_scale's xlarge shape). Exercises every scale-out change at
+  // once: wheel-served timers, batched NIC ticks, dense flow tables.
+  ClosShape shape;
+  shape.pods = 8;
+  shape.tors_per_pod = 4;
+  shape.leaves_per_pod = 4;
+  shape.spines = 8;
+  shape.hosts_per_tor = 16;
+  Network net(1);
+  const ClosTopology topo = BuildClos(net, shape, TopologyOptions{});
+  std::vector<RdmaNic*> hosts;
+  for (const auto& per_tor : topo.hosts_by_tor) {
+    hosts.insert(hosts.end(), per_tor.begin(), per_tor.end());
+  }
+  const int n = static_cast<int>(hosts.size());
+  const int hpt = shape.hosts_per_tor;
+  Rng traffic(7);
+  for (int i = 0; i < n; ++i) {
+    const int tor = i / hpt;
+    for (int f = 0; f < 2; ++f) {
+      int dst = ((tor + 1) % shape.num_tors()) * hpt;
+      if (f != 0) {
+        do {
+          dst = static_cast<int>(traffic.UniformInt(0, n - 1));
+        } while (dst / hpt == tor);
+      }
+      FlowSpec fs;
+      fs.flow_id = net.NextFlowId();
+      fs.src_host = hosts[static_cast<size_t>(i)]->id();
+      fs.dst_host = hosts[static_cast<size_t>(dst)]->id();
+      fs.size_bytes = 0;
+      fs.mode = TransportMode::kRdmaDcqcn;
+      fs.ecmp_salt = traffic.NextU64();
+      net.StartFlow(fs);
+    }
+  }
+  uint64_t events = 0;
+  for (auto _ : state) {
+    events += net.eq().RunUntil(net.eq().Now() + Microseconds(300));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_LargeClosThroughput);
+
 void BM_RunnerFluidSweep(benchmark::State& state) {
   // Serial-vs-parallel throughput of the experiment runner on a 16-trial
   // fluid-model sweep (the Fig. 12-style matrix). Arg = --jobs; real time

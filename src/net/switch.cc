@@ -12,13 +12,9 @@ SharedBufferSwitch::SharedBufferSwitch(EventQueue* eq, Rng* rng, int id,
       rng_(rng),
       config_(config),
       egress_(static_cast<size_t>(num_ports)),
-      egress_bytes_(static_cast<size_t>(num_ports)),
-      ecn_marks_(static_cast<size_t>(num_ports)),
-      max_egress_depth_(static_cast<size_t>(num_ports)),
-      ingress_bytes_(static_cast<size_t>(num_ports)),
-      headroom_used_(static_cast<size_t>(num_ports)),
-      pause_sent_(static_cast<size_t>(num_ports)),
-      tx_paused_(static_cast<size_t>(num_ports)),
+      pq_(static_cast<size_t>(num_ports) * kNumPriorities),
+      egress_nonempty_(static_cast<size_t>(num_ports)),
+      tx_paused_mask_(static_cast<size_t>(num_ports)),
       paused_accum_(static_cast<size_t>(num_ports)),
       paused_since_(static_cast<size_t>(num_ports)),
       rx_pause_expiry_(static_cast<size_t>(num_ports)),
@@ -42,13 +38,6 @@ SharedBufferSwitch::SharedBufferSwitch(EventQueue* eq, Rng* rng, int id,
     for (auto& q : port_queues) q.SetPool(pool);
   }
   for (auto& q : pfc_out_) q.SetPool(pool);
-  for (auto& a : egress_bytes_) a.fill(0);
-  for (auto& a : ecn_marks_) a.fill(0);
-  for (auto& a : max_egress_depth_) a.fill(0);
-  for (auto& a : ingress_bytes_) a.fill(0);
-  for (auto& a : headroom_used_) a.fill(0);
-  for (auto& a : pause_sent_) a.fill(false);
-  for (auto& a : tx_paused_) a.fill(false);
   for (auto& a : paused_accum_) a.fill(0);
   for (auto& a : paused_since_) a.fill(0);
 }
@@ -92,43 +81,49 @@ const std::vector<int>& SharedBufferSwitch::RouteTo(int dst_host) const {
 
 Bytes SharedBufferSwitch::CurrentPfcThreshold() const {
   if (!config_.dynamic_pfc) return config_.static_pfc_threshold;
-  SwitchBufferSpec spec = config_.buffer;
-  spec.total_buffer = EffectiveTotalBuffer();
-  return DynamicPfcThreshold(spec, headroom_, config_.beta, shared_used_);
+  // Inlined DynamicPfcThreshold(spec with EffectiveTotalBuffer(), headroom_,
+  // beta, shared_used_), keeping the exact operation order so thresholds
+  // match the closed-form helper bit for bit. This runs once per admitted
+  // packet (CheckPause), so it must not copy a SwitchBufferSpec. The
+  // reserved term is recomputed (not reserved_headroom_, which is zero when
+  // PFC is off but this accessor is still meaningful to tests).
+  const Bytes reserved = static_cast<Bytes>(config_.buffer.num_priorities) *
+                         config_.buffer.num_ports * headroom_;
+  const Bytes free_shared =
+      std::max<Bytes>(0, EffectiveTotalBuffer() - reserved - shared_used_);
+  return static_cast<Bytes>(config_.beta * static_cast<double>(free_shared) /
+                            static_cast<double>(config_.buffer.num_priorities));
 }
 
 Bytes SharedBufferSwitch::EgressQueueBytes(int port, int priority) const {
-  return egress_bytes_[static_cast<size_t>(port)][static_cast<size_t>(
-      priority)];
+  return Pq(port, priority).egress_bytes;
 }
 
 Bytes SharedBufferSwitch::IngressQueueBytes(int port, int priority) const {
-  return ingress_bytes_[static_cast<size_t>(port)][static_cast<size_t>(
-      priority)];
+  return Pq(port, priority).ingress_bytes;
 }
 
 int64_t SharedBufferSwitch::EcnMarked(int port, int priority) const {
-  return ecn_marks_[static_cast<size_t>(port)][static_cast<size_t>(priority)];
+  return Pq(port, priority).ecn_marks;
 }
 
 Bytes SharedBufferSwitch::MaxQueueDepth(int port, int priority) const {
-  return max_egress_depth_[static_cast<size_t>(port)]
-                          [static_cast<size_t>(priority)];
+  return Pq(port, priority).max_egress_depth;
 }
 
 bool SharedBufferSwitch::PauseSent(int port, int priority) const {
-  return pause_sent_[static_cast<size_t>(port)][static_cast<size_t>(priority)];
+  return Pq(port, priority).pause_sent;
 }
 
 bool SharedBufferSwitch::TxPaused(int port, int priority) const {
-  return tx_paused_[static_cast<size_t>(port)][static_cast<size_t>(priority)];
+  return Pq(port, priority).tx_paused;
 }
 
 Time SharedBufferSwitch::PausedTimeTotal(int port, int priority) const {
   const auto ip = static_cast<size_t>(port);
   const auto pr = static_cast<size_t>(priority);
   Time total = paused_accum_[ip][pr];
-  if (tx_paused_[ip][pr]) total += eq_->Now() - paused_since_[ip][pr];
+  if (Pq(port, priority).tx_paused) total += eq_->Now() - paused_since_[ip][pr];
   return total;
 }
 
@@ -145,11 +140,14 @@ Time SharedBufferSwitch::PausedTimeTotalAll() const {
 void SharedBufferSwitch::SetTxPaused(int port, int priority, bool paused) {
   const auto ip = static_cast<size_t>(port);
   const auto pr = static_cast<size_t>(priority);
-  if (tx_paused_[ip][pr] == paused) return;  // refresh PAUSE: episode is open
-  tx_paused_[ip][pr] = paused;
+  PqState& s = Pq(port, priority);
+  if (s.tx_paused == paused) return;  // refresh PAUSE: episode is open
+  s.tx_paused = paused;
   if (paused) {
+    tx_paused_mask_[ip] |= static_cast<uint8_t>(1u << pr);
     paused_since_[ip][pr] = eq_->Now();
   } else {
+    tx_paused_mask_[ip] &= static_cast<uint8_t>(~(1u << pr));
     const Time episode = eq_->Now() - paused_since_[ip][pr];
     paused_accum_[ip][pr] += episode;
     counters_.paused_time_total += episode;
@@ -198,18 +196,25 @@ void SharedBufferSwitch::ReceivePacket(const Packet& p, int in_port) {
 
 int SharedBufferSwitch::EcmpSelect(uint64_t ecmp_key, int dst_host) const {
   const auto& ports = RouteTo(dst_host);
-  return ports[static_cast<size_t>(
-      EcmpMix(ecmp_key, static_cast<uint64_t>(id())) % ports.size())];
+  const size_t n = ports.size();
+  if (n == 1) return ports[0];  // downlinks: nothing to hash over
+  const uint64_t mix = EcmpMix(ecmp_key, static_cast<uint64_t>(id()));
+  // Equal-cost sets are almost always a power of two (spine/uplink counts);
+  // masking picks the same port the modulo would.
+  const size_t idx = (n & (n - 1)) == 0 ? mix & (n - 1) : mix % n;
+  return ports[idx];
 }
 
-void SharedBufferSwitch::AdmitAndEnqueue(Packet p, int in_port, int out_port) {
-  const auto ip = static_cast<size_t>(in_port);
+void SharedBufferSwitch::AdmitAndEnqueue(const Packet& p, int in_port,
+                                         int out_port) {
   const auto op = static_cast<size_t>(out_port);
   const auto pr = static_cast<size_t>(p.priority);
+  PqState& in_state = Pq(in_port, p.priority);
+  PqState& out_state = Pq(out_port, p.priority);
 
   // --- buffer admission ---
   if (config_.lossy_egress_cap > 0 && !config_.pfc_enabled &&
-      egress_bytes_[op][pr] + p.size_bytes > config_.lossy_egress_cap) {
+      out_state.egress_bytes + p.size_bytes > config_.lossy_egress_cap) {
     counters_.dropped_packets++;
     counters_.dropped_bytes += p.size_bytes;
     if (tracer_) {
@@ -220,12 +225,12 @@ void SharedBufferSwitch::AdmitAndEnqueue(Packet p, int in_port, int out_port) {
     return;
   }
   bool in_headroom = false;
-  if (config_.pfc_enabled && pause_sent_[ip][pr] &&
-      headroom_used_[ip][pr] + p.size_bytes <= headroom_) {
+  if (config_.pfc_enabled && in_state.pause_sent &&
+      in_state.headroom_used + p.size_bytes <= headroom_) {
     // Bytes arriving after we PAUSEd an upstream are exactly what the
     // headroom reservation exists for.
     in_headroom = true;
-    headroom_used_[ip][pr] += p.size_bytes;
+    in_state.headroom_used += p.size_bytes;
   } else if (shared_used_ + p.size_bytes <= SharedCapacity()) {
     shared_used_ += p.size_bytes;
   } else {
@@ -238,25 +243,28 @@ void SharedBufferSwitch::AdmitAndEnqueue(Packet p, int in_port, int out_port) {
     }
     return;
   }
-  ingress_bytes_[ip][pr] += p.size_bytes;
+  in_state.ingress_bytes += p.size_bytes;
 
   // --- CP: RED/ECN marking on the instantaneous egress queue (Fig. 5) ---
+  // The mark is applied to the stored copy after enqueue; the decision (and
+  // its RNG draw) stays here so the draw order is unchanged.
+  bool mark_ecn = false;
   if (p.type == PacketType::kData &&
-      RedShouldMark(config_.red, egress_bytes_[op][pr], *rng_)) {
-    p.ecn_ce = true;
+      RedShouldMark(config_.red, out_state.egress_bytes, *rng_)) {
+    mark_ecn = true;
     counters_.ecn_marked_packets++;
-    ecn_marks_[op][pr]++;
+    out_state.ecn_marks++;
     if (tracer_) {
       tracer_->Record(eq_->Now(), telemetry::TraceEventType::kEcnMark, id(),
                       static_cast<int16_t>(out_port), p.priority, p.flow_id,
-                      egress_bytes_[op][pr]);
+                      out_state.egress_bytes);
     }
   }
 
   // --- QCN congestion point: sampled quantized feedback to the source ---
   if (p.type == PacketType::kData && config_.qcn.enabled) {
     const int fbq = qcn_cp_[op][pr].OnPacketArrival(
-        config_.qcn, egress_bytes_[op][pr], *rng_);
+        config_.qcn, out_state.egress_bytes, *rng_);
     if (fbq > 0) {
       Packet fb;
       fb.type = PacketType::kQcnFeedback;
@@ -274,15 +282,25 @@ void SharedBufferSwitch::AdmitAndEnqueue(Packet p, int in_port, int out_port) {
     }
   }
 
-  egress_[op][pr].push_back(StoredPacket{p, in_port, in_headroom});
-  egress_bytes_[op][pr] += p.size_bytes;
-  if (egress_bytes_[op][pr] > max_egress_depth_[op][pr]) {
-    max_egress_depth_[op][pr] = egress_bytes_[op][pr];
+  // Taken after the QCN recursion above: a feedback frame enqueued on this
+  // same ring would have invalidated an earlier reference on growth.
+  auto& q = egress_[op][pr];
+  if (q.empty()) {
+    egress_nonempty_[op] |= static_cast<uint8_t>(1u << pr);
+  }
+  StoredPacket& stored = q.push_slot();  // single Packet copy, no temporary
+  stored.pkt = p;
+  stored.pkt.ecn_ce = p.ecn_ce || mark_ecn;
+  stored.in_port = in_port;
+  stored.in_headroom = in_headroom;
+  out_state.egress_bytes += p.size_bytes;
+  if (out_state.egress_bytes > out_state.max_egress_depth) {
+    out_state.max_egress_depth = out_state.egress_bytes;
   }
   if (tracer_) {
     tracer_->Record(eq_->Now(), telemetry::TraceEventType::kPktEnqueue, id(),
                     static_cast<int16_t>(out_port), p.priority, p.flow_id,
-                    egress_bytes_[op][pr]);
+                    out_state.egress_bytes);
   }
 
   if (config_.pfc_enabled) CheckPause(in_port, p.priority);
@@ -290,11 +308,11 @@ void SharedBufferSwitch::AdmitAndEnqueue(Packet p, int in_port, int out_port) {
 }
 
 void SharedBufferSwitch::CheckPause(int in_port, int priority) {
-  const auto ip = static_cast<size_t>(in_port);
-  const auto pr = static_cast<size_t>(priority);
-  if (pause_sent_[ip][pr]) return;
-  if (ingress_bytes_[ip][pr] > CurrentPfcThreshold()) {
-    pause_sent_[ip][pr] = true;
+  PqState& s = Pq(in_port, priority);
+  if (s.pause_sent) return;
+  if (s.ingress_bytes > CurrentPfcThreshold()) {
+    s.pause_sent = true;
+    ++pauses_outstanding_;
     SendPfcFrame(in_port, priority, /*pause=*/true);
     ArmPauseRefresh(in_port, priority);
   }
@@ -304,10 +322,7 @@ void SharedBufferSwitch::ArmPauseRefresh(int port, int priority) {
   if (config_.pfc_pause_refresh <= 0) return;
   pause_refresh_[static_cast<size_t>(port)][static_cast<size_t>(priority)] =
       eq_->ScheduleIn(config_.pfc_pause_refresh, [this, port, priority] {
-        if (!pause_sent_[static_cast<size_t>(port)]
-                        [static_cast<size_t>(priority)]) {
-          return;
-        }
+        if (!Pq(port, priority).pause_sent) return;
         SendPfcFrame(port, priority, /*pause=*/true);
         ArmPauseRefresh(port, priority);
       });
@@ -323,16 +338,19 @@ void SharedBufferSwitch::CheckPauseAll() {
 
 void SharedBufferSwitch::CheckResumeAll() {
   // The dynamic threshold rises as the shared pool drains, so any paused
-  // ingress may become resumable when any packet leaves.
+  // ingress may become resumable when any packet leaves. In the common
+  // ECN-controlled state nothing is paused, and this is one load.
+  if (pauses_outstanding_ == 0) return;
   const Bytes thr = CurrentPfcThreshold();
   const Bytes resume_level = std::max<Bytes>(0, thr - config_.resume_offset);
   for (int port = 0; port < num_ports(); ++port) {
     for (int pr = 0; pr < kNumPriorities; ++pr) {
-      const auto ip = static_cast<size_t>(port);
-      const auto ipr = static_cast<size_t>(pr);
-      if (pause_sent_[ip][ipr] && ingress_bytes_[ip][ipr] <= resume_level) {
-        pause_sent_[ip][ipr] = false;
-        eq_->Cancel(pause_refresh_[ip][ipr]);
+      PqState& s = Pq(port, pr);
+      if (s.pause_sent && s.ingress_bytes <= resume_level) {
+        s.pause_sent = false;
+        --pauses_outstanding_;
+        eq_->Cancel(pause_refresh_[static_cast<size_t>(port)]
+                                  [static_cast<size_t>(pr)]);
         SendPfcFrame(port, pr, /*pause=*/false);
       }
     }
@@ -375,48 +393,55 @@ void SharedBufferSwitch::TrySend(int port) {
     return;
   }
 
-  for (int pr = 0; pr < kNumPriorities; ++pr) {
-    const auto ipr = static_cast<size_t>(pr);
-    if (tx_paused_[ip][ipr]) continue;
-    auto& q = egress_[ip][ipr];
-    if (q.empty()) continue;
-    StoredPacket sp = q.front();
-    q.pop_front();
-    egress_bytes_[ip][ipr] -= sp.pkt.size_bytes;
-    in_flight_[ip] = sp;
-    counters_.tx_packets++;
-    if (tracer_) {
-      tracer_->Record(eq_->Now(), telemetry::TraceEventType::kPktDequeue,
-                      id(), static_cast<int16_t>(port),
-                      sp.pkt.priority, sp.pkt.flow_id,
-                      egress_bytes_[ip][ipr]);
-    }
-    l->Transmit(this, sp.pkt);
-    return;
+  // Strict priority: the lowest set bit among non-empty, non-paused
+  // priority queues (identical to scanning pr = 0..7 in order).
+  const uint8_t sendable = egress_nonempty_[ip] &
+                           static_cast<uint8_t>(~tx_paused_mask_[ip]);
+  if (sendable == 0) return;
+  const int pr = __builtin_ctz(sendable);
+  const auto ipr = static_cast<size_t>(pr);
+  auto& q = egress_[ip][ipr];
+  const StoredPacket& sp = q.front();
+  in_flight_[ip] = InFlightRelease{sp.pkt.size_bytes, sp.in_port,
+                                   sp.pkt.priority, sp.in_headroom,
+                                   /*active=*/true};
+  PqState& s = Pq(port, pr);
+  s.egress_bytes -= sp.pkt.size_bytes;
+  counters_.tx_packets++;
+  if (tracer_) {
+    tracer_->Record(eq_->Now(), telemetry::TraceEventType::kPktDequeue,
+                    id(), static_cast<int16_t>(port),
+                    sp.pkt.priority, sp.pkt.flow_id, s.egress_bytes);
+  }
+  // Transmit straight from the ring slot (Link copies what it keeps), then
+  // retire it; only the 16-byte release record outlives the call.
+  l->Transmit(this, sp.pkt);
+  q.pop_front();
+  if (q.empty()) {
+    egress_nonempty_[ip] &= static_cast<uint8_t>(~(1u << pr));
   }
 }
 
 void SharedBufferSwitch::OnTransmitComplete(int port) {
   const auto ip = static_cast<size_t>(port);
-  if (in_flight_[ip].has_value()) {
+  if (in_flight_[ip].active) {
     // A buffered packet fully left the switch: release its buffer now
     // (paper accounting: occupancy until transmission completes).
-    ReleaseBuffer(*in_flight_[ip]);
-    in_flight_[ip].reset();
+    ReleaseBuffer(in_flight_[ip]);
+    in_flight_[ip].active = false;
   }
   TrySend(port);
 }
 
-void SharedBufferSwitch::ReleaseBuffer(const StoredPacket& sp) {
-  const auto ip = static_cast<size_t>(sp.in_port);
-  const auto pr = static_cast<size_t>(sp.pkt.priority);
-  ingress_bytes_[ip][pr] -= sp.pkt.size_bytes;
-  DCQCN_DCHECK(ingress_bytes_[ip][pr] >= 0);
-  if (sp.in_headroom) {
-    headroom_used_[ip][pr] -= sp.pkt.size_bytes;
-    DCQCN_DCHECK(headroom_used_[ip][pr] >= 0);
+void SharedBufferSwitch::ReleaseBuffer(const InFlightRelease& rel) {
+  PqState& s = Pq(rel.in_port, rel.priority);
+  s.ingress_bytes -= rel.size_bytes;
+  DCQCN_DCHECK(s.ingress_bytes >= 0);
+  if (rel.in_headroom) {
+    s.headroom_used -= rel.size_bytes;
+    DCQCN_DCHECK(s.headroom_used >= 0);
   } else {
-    shared_used_ -= sp.pkt.size_bytes;
+    shared_used_ -= rel.size_bytes;
     DCQCN_DCHECK(shared_used_ >= 0);
   }
   if (config_.pfc_enabled) CheckResumeAll();

@@ -26,7 +26,6 @@
 
 #include <array>
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "common/rng.h"
@@ -178,9 +177,20 @@ class SharedBufferSwitch : public Node {
     bool in_headroom;  // charged to headroom rather than shared pool
   };
 
+  // Everything OnTransmitComplete needs to release the serializing packet's
+  // buffer share — 16 bytes per port instead of a full StoredPacket copy on
+  // every transmission.
+  struct InFlightRelease {
+    Bytes size_bytes = 0;
+    int32_t in_port = -1;
+    int8_t priority = 0;
+    bool in_headroom = false;
+    bool active = false;
+  };
+
   void TrySend(int port);
-  void AdmitAndEnqueue(Packet p, int in_port, int out_port);
-  void ReleaseBuffer(const StoredPacket& sp);
+  void AdmitAndEnqueue(const Packet& p, int in_port, int out_port);
+  void ReleaseBuffer(const InFlightRelease& rel);
   void CheckPause(int in_port, int priority);
   void CheckPauseAll();
   void CheckResumeAll();
@@ -200,15 +210,41 @@ class SharedBufferSwitch : public Node {
   Bytes shared_capacity_;    // B - reserved_headroom_
   Bytes buffer_override_ = 0;  // fault injection; 0 = none
 
+  // Hot per-(port, priority) accounting, packed into one struct so a
+  // packet's admission touches two cache lines — its ingress entry and its
+  // egress entry — instead of seven parallel [port][priority] tables. At
+  // large-Clos scale (tens of switches x 32+ ports) the parallel-table
+  // layout blew the cache on every forwarded packet.
+  struct PqState {
+    Bytes egress_bytes = 0;
+    Bytes ingress_bytes = 0;
+    Bytes headroom_used = 0;
+    Bytes max_egress_depth = 0;
+    int64_t ecn_marks = 0;
+    bool pause_sent = false;
+    bool tx_paused = false;
+  };
+  PqState& Pq(int port, int priority) {
+    return pq_[static_cast<size_t>(port) * kNumPriorities +
+               static_cast<size_t>(priority)];
+  }
+  const PqState& Pq(int port, int priority) const {
+    return pq_[static_cast<size_t>(port) * kNumPriorities +
+               static_cast<size_t>(priority)];
+  }
+
   // Indexed [port][priority].
   std::vector<std::array<RingBuffer<StoredPacket>, kNumPriorities>> egress_;
-  std::vector<std::array<Bytes, kNumPriorities>> egress_bytes_;
-  std::vector<std::array<int64_t, kNumPriorities>> ecn_marks_;
-  std::vector<std::array<Bytes, kNumPriorities>> max_egress_depth_;
-  std::vector<std::array<Bytes, kNumPriorities>> ingress_bytes_;
-  std::vector<std::array<Bytes, kNumPriorities>> headroom_used_;
-  std::vector<std::array<bool, kNumPriorities>> pause_sent_;
-  std::vector<std::array<bool, kNumPriorities>> tx_paused_;
+  std::vector<PqState> pq_;  // [port * kNumPriorities + priority]
+  // Per-port priority bitmasks mirroring egress_ emptiness and PqState
+  // tx_paused: TrySend picks the first sendable priority with one ctz
+  // instead of probing eight ring buffers.
+  static_assert(kNumPriorities <= 8, "priority masks are uint8_t");
+  std::vector<uint8_t> egress_nonempty_;
+  std::vector<uint8_t> tx_paused_mask_;
+  // Count of (port, priority) pairs with pause_sent set, so the per-release
+  // CheckResumeAll scan is skipped entirely in the common unpaused state.
+  int pauses_outstanding_ = 0;
   // Paused-time integration per (port, priority): closed episodes accumulate
   // into `paused_accum_`; `paused_since_` stamps the open episode.
   std::vector<std::array<Time, kNumPriorities>> paused_accum_;
@@ -223,8 +259,9 @@ class SharedBufferSwitch : public Node {
 
   // PFC frames awaiting transmission, per port (sent ahead of all data).
   std::vector<RingBuffer<Packet>> pfc_out_;
-  // The buffered packet currently serializing on each port, if any.
-  std::vector<std::optional<StoredPacket>> in_flight_;
+  // Release record for the buffered packet currently serializing on each
+  // port (`active` false when the port is idle or sending a PFC frame).
+  std::vector<InFlightRelease> in_flight_;
 
   Bytes shared_used_ = 0;
   std::vector<std::vector<int>> routes_;  // dst host -> out ports

@@ -18,26 +18,40 @@ StarTopology BuildStar(Network& net, int num_hosts,
 
 ClosTopology BuildClos(Network& net, int hosts_per_tor,
                        const TopologyOptions& opt) {
-  DCQCN_CHECK(hosts_per_tor >= 1);
+  ClosShape shape;  // paper defaults
+  shape.hosts_per_tor = hosts_per_tor;
+  return BuildClos(net, shape, opt);
+}
+
+ClosTopology BuildClos(Network& net, const ClosShape& shape,
+                       const TopologyOptions& opt) {
+  shape.Validate();
+  const int num_tors = shape.num_tors();
+  const int num_leaves = shape.num_leaves();
+  const int hosts_per_tor = shape.hosts_per_tor;
+
   ClosTopology t;
+  t.shape = shape;
   t.hosts_per_tor = hosts_per_tor;
 
-  // ToR ports: [0, hosts_per_tor) to hosts, then 2 uplinks to the pod's
-  // leaves. Leaf ports: 0-1 down to the pod's ToRs, 2-3 up to the spines.
-  // Spine ports: 0-3 down to leaves L1..L4.
-  for (int i = 0; i < ClosTopology::kNumTors; ++i) {
-    t.tors.push_back(net.AddSwitch(hosts_per_tor + 2, opt.switch_config));
+  // ToR ports: [0, hosts_per_tor) to hosts, then one uplink per pod leaf.
+  // Leaf ports: [0, tors_per_pod) down to the pod's ToRs, then one uplink
+  // per spine. Spine ports: one per leaf, globally indexed.
+  for (int i = 0; i < num_tors; ++i) {
+    t.tors.push_back(
+        net.AddSwitch(hosts_per_tor + shape.leaves_per_pod,
+                      opt.switch_config));
   }
-  for (int i = 0; i < ClosTopology::kNumLeaves; ++i) {
-    t.leaves.push_back(net.AddSwitch(4, opt.switch_config));
+  for (int i = 0; i < num_leaves; ++i) {
+    t.leaves.push_back(
+        net.AddSwitch(shape.tors_per_pod + shape.spines, opt.switch_config));
   }
-  for (int i = 0; i < ClosTopology::kNumSpines; ++i) {
-    t.spines.push_back(net.AddSwitch(ClosTopology::kNumLeaves,
-                                     opt.switch_config));
+  for (int i = 0; i < shape.spines; ++i) {
+    t.spines.push_back(net.AddSwitch(num_leaves, opt.switch_config));
   }
 
-  t.hosts_by_tor.resize(ClosTopology::kNumTors);
-  for (int tor = 0; tor < ClosTopology::kNumTors; ++tor) {
+  t.hosts_by_tor.resize(static_cast<size_t>(num_tors));
+  for (int tor = 0; tor < num_tors; ++tor) {
     for (int h = 0; h < hosts_per_tor; ++h) {
       RdmaNic* nic = net.AddHost(opt.nic_config);
       net.Connect(t.tors[static_cast<size_t>(tor)], h, nic, 0, opt.link_rate,
@@ -47,21 +61,21 @@ ClosTopology BuildClos(Network& net, int hosts_per_tor,
   }
 
   // ToR <-> leaf wiring within each pod.
-  for (int tor = 0; tor < ClosTopology::kNumTors; ++tor) {
-    const int pod = tor / 2;
-    for (int l = 0; l < 2; ++l) {
-      const int leaf = pod * 2 + l;
-      // Leaf down-port 0 or 1 = which ToR of the pod.
+  for (int tor = 0; tor < num_tors; ++tor) {
+    const int pod = tor / shape.tors_per_pod;
+    for (int l = 0; l < shape.leaves_per_pod; ++l) {
+      const int leaf = pod * shape.leaves_per_pod + l;
+      // Leaf down-port = which ToR of the pod.
       net.Connect(t.tors[static_cast<size_t>(tor)], hosts_per_tor + l,
-                  t.leaves[static_cast<size_t>(leaf)], tor % 2,
-                  opt.link_rate, opt.link_delay);
+                  t.leaves[static_cast<size_t>(leaf)],
+                  tor % shape.tors_per_pod, opt.link_rate, opt.link_delay);
     }
   }
 
   // Leaf <-> spine wiring (full mesh).
-  for (int leaf = 0; leaf < ClosTopology::kNumLeaves; ++leaf) {
-    for (int s = 0; s < ClosTopology::kNumSpines; ++s) {
-      net.Connect(t.leaves[static_cast<size_t>(leaf)], 2 + s,
+  for (int leaf = 0; leaf < num_leaves; ++leaf) {
+    for (int s = 0; s < shape.spines; ++s) {
+      net.Connect(t.leaves[static_cast<size_t>(leaf)], shape.tors_per_pod + s,
                   t.spines[static_cast<size_t>(s)], leaf, opt.link_rate,
                   opt.link_delay);
     }

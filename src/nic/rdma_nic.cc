@@ -14,8 +14,11 @@ RdmaNic::RdmaNic(EventQueue* eq, int id, NicConfig config, QueuePool* pool)
 
 RdmaNic::~RdmaNic() {
   eq_->Cancel(wakeup_);
+  eq_->Cancel(qp_tick_);
   for (const EventHandle& h : storm_timer_) eq_->Cancel(h);
   for (const EventHandle& h : rx_pause_expiry_) eq_->Cancel(h);
+  // qps_ (destroyed after this body) remove their timer nodes from
+  // qp_timer_heap_ via CancelQpTimer; the heap outlives them here.
 }
 
 Rate RdmaNic::line_rate() const {
@@ -31,14 +34,16 @@ void RdmaNic::SetTracer(telemetry::EventTracer* tracer) {
 
 SenderQp* RdmaNic::AddFlow(const FlowSpec& spec) {
   DCQCN_CHECK(spec.src_host == id());
-  DCQCN_CHECK(spec.flow_id >= 0);
-  DCQCN_CHECK(qp_by_flow_.find(spec.flow_id) == qp_by_flow_.end());
+  DCQCN_CHECK(spec.flow_id >= 0 && spec.flow_id < kMaxFlowId);
+  const auto fid = static_cast<size_t>(spec.flow_id);
+  if (qp_index_.size() <= fid) qp_index_.resize(fid + 1, nullptr);
+  DCQCN_CHECK(qp_index_[fid] == nullptr);  // one QP per flow id
   auto qp = std::make_unique<SenderQp>(eq_, this, spec, config_,
                                        line_rate());
   SenderQp* raw = qp.get();
   raw->SetTracer(tracer_);
   qps_.push_back(std::move(qp));
-  qp_by_flow_[spec.flow_id] = raw;
+  qp_index_[fid] = raw;
   const Time delay = std::max<Time>(0, spec.start_time - eq_->Now());
   eq_->ScheduleIn(delay, [this, raw] {
     raw->Start();
@@ -48,13 +53,116 @@ SenderQp* RdmaNic::AddFlow(const FlowSpec& spec) {
 }
 
 SenderQp* RdmaNic::FindQp(int flow_id) const {
-  auto it = qp_by_flow_.find(flow_id);
-  return it == qp_by_flow_.end() ? nullptr : it->second;
+  const auto fid = static_cast<size_t>(flow_id);
+  return flow_id >= 0 && fid < qp_index_.size() ? qp_index_[fid] : nullptr;
 }
 
 Bytes RdmaNic::ReceiverDeliveredBytes(int flow_id) const {
-  auto it = rcv_flows_.find(flow_id);
-  return it == rcv_flows_.end() ? 0 : it->second.delivered;
+  const auto fid = static_cast<size_t>(flow_id);
+  if (flow_id < 0 || fid >= rcv_index_.size()) return 0;
+  const int32_t slot = rcv_index_[fid];
+  return slot < 0 ? 0 : rcv_store_[static_cast<size_t>(slot)].delivered;
+}
+
+// (deadline, arm_seq) min-order: the new arm always carries the largest
+// arm_seq, so equal deadlines pop in FIFO arm order — the order individually
+// scheduled events would fire in.
+bool RdmaNic::QpEarlier(const QpTimerEntry& a, const QpTimerEntry& b) {
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.arm_seq < b.arm_seq;
+}
+
+void RdmaNic::QpHeapSiftUp(uint32_t pos) {
+  const QpTimerEntry e = qp_timer_heap_[pos];
+  while (pos > 0) {
+    const uint32_t parent = (pos - 1) >> 2;
+    if (!QpEarlier(e, qp_timer_heap_[parent])) break;
+    qp_timer_heap_[pos] = qp_timer_heap_[parent];
+    qp_timer_heap_[pos].node->heap_pos = pos;
+    pos = parent;
+  }
+  qp_timer_heap_[pos] = e;
+  e.node->heap_pos = pos;
+}
+
+void RdmaNic::QpHeapSiftDown(uint32_t pos) {
+  const QpTimerEntry e = qp_timer_heap_[pos];
+  const uint32_t n = static_cast<uint32_t>(qp_timer_heap_.size());
+  for (;;) {
+    const uint32_t first = (pos << 2) + 1;
+    if (first >= n) break;
+    uint32_t best = first;
+    const uint32_t last = first + 4 < n ? first + 4 : n;
+    for (uint32_t c = first + 1; c < last; ++c) {
+      if (QpEarlier(qp_timer_heap_[c], qp_timer_heap_[best])) best = c;
+    }
+    if (!QpEarlier(qp_timer_heap_[best], e)) break;
+    qp_timer_heap_[pos] = qp_timer_heap_[best];
+    qp_timer_heap_[pos].node->heap_pos = pos;
+    pos = best;
+  }
+  qp_timer_heap_[pos] = e;
+  e.node->heap_pos = pos;
+}
+
+void RdmaNic::QpHeapRemove(uint32_t pos) {
+  const uint32_t last = static_cast<uint32_t>(qp_timer_heap_.size()) - 1;
+  qp_timer_heap_[pos].node->heap_pos = ~0u;
+  if (pos != last) {
+    qp_timer_heap_[pos] = qp_timer_heap_[last];
+    qp_timer_heap_[pos].node->heap_pos = pos;
+    qp_timer_heap_.pop_back();
+    // The moved entry may violate order in either direction.
+    QpHeapSiftDown(pos);
+    QpHeapSiftUp(pos);
+  } else {
+    qp_timer_heap_.pop_back();
+  }
+}
+
+void RdmaNic::ArmQpTimer(QpTimerNode* node, Time deadline) {
+  if (node->armed) CancelQpTimer(node);  // re-arm replaces the old deadline
+  node->deadline = deadline;
+  node->arm_seq = ++qp_timer_arm_seq_;
+  node->armed = true;
+  qp_timer_heap_.push_back(QpTimerEntry{deadline, node->arm_seq, node});
+  QpHeapSiftUp(static_cast<uint32_t>(qp_timer_heap_.size()) - 1);
+  ScheduleQpTick();
+}
+
+void RdmaNic::CancelQpTimer(QpTimerNode* node) {
+  if (!node->armed) return;
+  QpHeapRemove(node->heap_pos);
+  node->armed = false;
+}
+
+void RdmaNic::ScheduleQpTick() {
+  if (qp_timer_heap_.empty()) return;
+  const Time head = qp_timer_heap_[0].deadline;
+  // An earlier pending tick covers this deadline: when it fires it services
+  // whatever is due and re-arms for the then-current head. (Spurious early
+  // wakeups service nothing; they cost one no-op event, not correctness.)
+  if (qp_tick_.valid() && qp_tick_at_ <= head) return;
+  eq_->Cancel(qp_tick_);
+  qp_tick_at_ = head;
+  qp_tick_ = eq_->ScheduleAt(head, [this] {
+    qp_tick_ = EventHandle{};
+    ServiceQpTimers();
+  });
+}
+
+void RdmaNic::ServiceQpTimers() {
+  const Time now = eq_->Now();
+  while (!qp_timer_heap_.empty() && qp_timer_heap_[0].deadline <= now) {
+    QpTimerNode* node = qp_timer_heap_[0].node;
+    CancelQpTimer(node);  // pop before dispatch; the QP may re-arm inside
+    if (node->kind == 0) {
+      node->qp->ServiceAlphaTimer();
+    } else {
+      node->qp->ServiceRateTimer();
+    }
+  }
+  ScheduleQpTick();
 }
 
 void RdmaNic::OnQpActivated(SenderQp* /*qp*/) { TrySend(); }
@@ -105,8 +213,9 @@ void RdmaNic::TrySend() {
   // Data: round robin over QPs that are eligible right now.
   const size_t n = qps_.size();
   Time earliest_future = std::numeric_limits<Time>::max();
-  for (size_t i = 0; i < n; ++i) {
-    SenderQp* qp = qps_[(rr_next_ + i) % n].get();
+  size_t idx = rr_next_ < n ? rr_next_ : 0;
+  for (size_t i = 0; i < n; ++i, idx = idx + 1 == n ? 0 : idx + 1) {
+    SenderQp* qp = qps_[idx].get();
     if (!qp->HasPacketReady()) continue;
     if (tx_paused_[static_cast<size_t>(qp->spec().priority)]) continue;
     const Time at = qp->EligibleAt();
@@ -115,7 +224,7 @@ void RdmaNic::TrySend() {
       continue;
     }
     const Packet p = qp->BuildNextPacket();
-    rr_next_ = (rr_next_ + i + 1) % n;
+    rr_next_ = idx + 1 == n ? 0 : idx + 1;
     counters_.data_packets_sent++;
     l->Transmit(this, p);
     qp->OnPacketSent(now, p);
@@ -183,16 +292,30 @@ void RdmaNic::ReceivePacket(const Packet& p, int /*in_port*/) {
   }
 }
 
-void RdmaNic::HandleData(const Packet& p) {
-  const Time now = eq_->Now();
-  counters_.data_packets_received++;
-  auto [it, inserted] = rcv_flows_.try_emplace(p.flow_id);
-  RcvFlow& rcv = it->second;
-  if (inserted) {
+RdmaNic::RcvFlow& RdmaNic::RcvSlot(const Packet& p) {
+  DCQCN_CHECK(p.flow_id >= 0 && p.flow_id < kMaxFlowId);
+  const auto fid = static_cast<size_t>(p.flow_id);
+  if (rcv_index_.size() <= fid) rcv_index_.resize(fid + 1, -1);
+  int32_t slot = rcv_index_[fid];
+  if (slot < 0) {
+    slot = static_cast<int32_t>(rcv_store_.size());
+    rcv_index_[fid] = slot;
+    RcvFlow rcv;
     rcv.src_host = p.src_host;
     rcv.ecmp_key = p.ecmp_key;
     rcv.transport = p.transport;
+    rcv_store_.push_back(rcv);
   }
+  return rcv_store_[static_cast<size_t>(slot)];
+}
+
+void RdmaNic::HandleData(const Packet& p) {
+  const Time now = eq_->Now();
+  counters_.data_packets_received++;
+  // Note: valid for the rest of this function only — packet delivery is
+  // never reentrant (links deliver via scheduled events), so rcv_store_
+  // cannot grow underneath the reference.
+  RcvFlow& rcv = RcvSlot(p);
   rcv.last_data_ts = p.tx_timestamp;
 
   // NP: CE-marked packets of DCQCN flows elicit CNPs (Fig. 6), at most one

@@ -6,11 +6,22 @@
 // duties: go-back-N ACK/NAK generation, DCTCP ECN echo, and the DCQCN NP
 // (CNP generation, paced per flow and gated NIC-wide like the ConnectX-3
 // CNP engine).
+//
+// Scale-out hot path:
+//   * DCQCN timers are batched per NIC. QPs arm embedded QpTimerNodes on a
+//     per-NIC (deadline, arm_seq) min-heap; the NIC keeps a single tick
+//     event at the head deadline and one tick services every due QP in
+//     (deadline, arm order) — firmware-style QP iteration instead of one
+//     event-queue entry per flow per timer. Thousands of flows cost one
+//     pending event per NIC.
+//   * Flow lookup is dense. Per-packet paths index flow-id-keyed vectors
+//     (sender QPs directly; receiver flows through a packed side array), not
+//     unordered_maps.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/units.h"
@@ -64,6 +75,15 @@ class RdmaNic : public Node {
   void OnMessageComplete(SenderQp* qp, const FlowRecord& rec);
   EventQueue* eq() { return eq_; }
 
+  // (Re)arms a QP's embedded timer node to fire at `deadline`, filing it in
+  // the NIC's per-NIC timer heap and moving the batched tick earlier if
+  // needed. O(log armed timers on this NIC).
+  void ArmQpTimer(QpTimerNode* node, Time deadline);
+  // Removes an armed node in O(log n); no-op when idle. A now-stale tick
+  // event is left to fire spuriously (it services nothing and re-arms from
+  // the head).
+  void CancelQpTimer(QpTimerNode* node);
+
   // Completion callbacks (flow records are also retained internally); any
   // number of observers may register.
   void AddCompletionCallback(std::function<void(const FlowRecord&)> cb) {
@@ -104,6 +124,12 @@ class RdmaNic : public Node {
   Time control_delay() const { return control_delay_; }
 
  private:
+  // Sanity bound for the dense tables: flow ids are small counters handed
+  // out by Network::NextFlowId (or test-chosen small ints), never sparse
+  // 32-bit values. A wild id would silently allocate gigabytes; assert
+  // instead.
+  static constexpr int kMaxFlowId = 1 << 22;
+
   struct RcvFlow {
     int32_t src_host = -1;
     uint64_t ecmp_key = 0;
@@ -119,6 +145,13 @@ class RdmaNic : public Node {
 
   void TrySend();
   void ScheduleWakeupAt(Time t);
+  // Ensures a tick event exists at (or before) the head deadline.
+  void ScheduleQpTick();
+  // The batched tick: services every node with deadline <= now in
+  // (deadline, arm_seq) order, then re-arms for the new head.
+  void ServiceQpTimers();
+  // Receiver-flow slot for a data packet's flow id, created on first packet.
+  RcvFlow& RcvSlot(const Packet& p);
   void HandleData(const Packet& p);
   void SendControl(PacketType type, const RcvFlow& rcv, int flow_id,
                    uint64_t seq, bool ecn_echo);
@@ -129,9 +162,32 @@ class RdmaNic : public Node {
   EventQueue* eq_;
   NicConfig config_;
 
+  // Batched DCQCN timer state: a 4-ary min-heap of armed QpTimerNodes keyed
+  // by (deadline, arm_seq) — contiguous entries, with each node tracking its
+  // heap index for O(log n) cancel — plus the single tick event at
+  // qp_tick_at_. Declared before qps_ so the heap outlives the QPs, whose
+  // destructors remove their nodes from it.
+  struct QpTimerEntry {
+    Time deadline;
+    uint64_t arm_seq;
+    QpTimerNode* node;
+  };
+  static bool QpEarlier(const QpTimerEntry& a, const QpTimerEntry& b);
+  void QpHeapSiftUp(uint32_t pos);
+  void QpHeapSiftDown(uint32_t pos);
+  void QpHeapRemove(uint32_t pos);
+  std::vector<QpTimerEntry> qp_timer_heap_;
+  uint64_t qp_timer_arm_seq_ = 0;
+  EventHandle qp_tick_;
+  Time qp_tick_at_ = 0;
   std::vector<std::unique_ptr<SenderQp>> qps_;
-  std::unordered_map<int, SenderQp*> qp_by_flow_;
-  std::unordered_map<int, RcvFlow> rcv_flows_;
+  // Dense flow tables, indexed by flow id (ids are small network-assigned
+  // integers; AddFlow/RcvSlot assert the kMaxFlowId sanity bound). The
+  // receiver side adds one packed-array indirection so an id costs 4 bytes,
+  // not sizeof(RcvFlow).
+  std::vector<SenderQp*> qp_index_;   // flow id -> sender QP (null = none)
+  std::vector<int32_t> rcv_index_;    // flow id -> rcv_store_ slot (-1 = none)
+  std::vector<RcvFlow> rcv_store_;    // packed, first-packet arrival order
   RingBuffer<Packet> ctrl_out_;
   // PFC frames from the pause-storm generator; sent ahead of everything and
   // exempt from tx_paused_ (MAC control frames are never subject to PFC).

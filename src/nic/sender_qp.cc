@@ -23,6 +23,10 @@ SenderQp::SenderQp(EventQueue* eq, RdmaNic* nic, FlowSpec spec,
       unbounded_(spec.unbounded()),
       go_back_zero_(config.go_back_zero) {
   DCQCN_CHECK(line_rate_ > 0);
+  alpha_node_.qp = this;
+  alpha_node_.kind = 0;
+  rate_node_.qp = this;
+  rate_node_.kind = 1;
   if (spec_.mode == TransportMode::kRdmaDcqcn ||
       spec_.mode == TransportMode::kQcn) {
     rp_ = std::make_unique<RpState>(params_, line_rate_);
@@ -43,8 +47,8 @@ SenderQp::SenderQp(EventQueue* eq, RdmaNic* nic, FlowSpec spec,
 
 SenderQp::~SenderQp() {
   eq_->Cancel(retx_timer_);
-  eq_->Cancel(alpha_timer_);
-  eq_->Cancel(rate_timer_);
+  nic_->CancelQpTimer(&alpha_node_);
+  nic_->CancelQpTimer(&rate_node_);
 }
 
 void SenderQp::EnqueueMessage(Bytes bytes) {
@@ -157,8 +161,8 @@ void SenderQp::OnPacketSent(Time now, const Packet& p) {
     const int expirations = rp_->OnBytesSent(p.size_bytes);
     if (was_limiting && !rp_->limiting()) {
       // Recovered to line rate: the limiter released; stop the timers.
-      eq_->Cancel(alpha_timer_);
-      eq_->Cancel(rate_timer_);
+      nic_->CancelQpTimer(&alpha_node_);
+      nic_->CancelQpTimer(&rate_node_);
     }
     // A byte-counter expiration runs an increase iteration — the rate-change
     // path the timers don't see.
@@ -319,32 +323,37 @@ void SenderQp::OnQcnFeedback(Time now, int fbq) {
 }
 
 void SenderQp::ArmAlphaTimer() {
-  eq_->Cancel(alpha_timer_);
-  alpha_timer_ = eq_->ScheduleIn(Jittered(params_.alpha_timer, timer_jitter_),
-                                 [this] {
-    alpha_timer_ = EventHandle{};
-    if (!rp_ || !rp_->limiting()) return;
-    rp_->OnAlphaTimer();
-    if (tracer_) TraceAlpha();
-    ArmAlphaTimer();
-  });
+  // The jitter draw happens at arm time (as it did when this scheduled an
+  // event directly), so replayed runs see identical per-QP RNG streams.
+  nic_->ArmQpTimer(&alpha_node_,
+                   eq_->Now() + Jittered(params_.alpha_timer, timer_jitter_));
 }
 
 void SenderQp::ArmRateTimer() {
-  eq_->Cancel(rate_timer_);
-  rate_timer_ = eq_->ScheduleIn(
-      Jittered(params_.rate_increase_timer, timer_jitter_), [this] {
-    rate_timer_ = EventHandle{};
-    if (!rp_ || !rp_->limiting()) return;
-    const bool was_limiting = rp_->limiting();
-    rp_->OnRateTimer();
-    if (tracer_) TraceRate();
-    if (was_limiting && !rp_->limiting()) {
-      eq_->Cancel(alpha_timer_);
-      return;
-    }
-    ArmRateTimer();
-  });
+  nic_->ArmQpTimer(
+      &rate_node_,
+      eq_->Now() + Jittered(params_.rate_increase_timer, timer_jitter_));
+}
+
+void SenderQp::ServiceAlphaTimer() {
+  if (!rp_ || !rp_->limiting()) return;
+  rp_->OnAlphaTimer();
+  if (tracer_) TraceAlpha();
+  ArmAlphaTimer();
+}
+
+void SenderQp::ServiceRateTimer() {
+  if (!rp_ || !rp_->limiting()) return;
+  const bool was_limiting = rp_->limiting();
+  rp_->OnRateTimer();
+  if (tracer_) TraceRate();
+  if (was_limiting && !rp_->limiting()) {
+    // Recovered to line rate: Fig. 7's transition out of rate limiting also
+    // retires the alpha timer.
+    nic_->CancelQpTimer(&alpha_node_);
+    return;
+  }
+  ArmRateTimer();
 }
 
 void SenderQp::DctcpOnAck(Bytes acked_bytes, bool ecn_echo) {

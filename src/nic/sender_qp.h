@@ -7,8 +7,12 @@
 //     RDMA modes ("The rate limiting is on a per-packet granularity", §3.3);
 //     flows start at full line rate, no slow start;
 //   * DCQCN RP           — the per-flow state machine plus its two timers
-//     (alpha timer and rate-increase timer), which the QP arms in the event
-//     queue only while the limiter is engaged;
+//     (alpha timer and rate-increase timer), armed only while the limiter is
+//     engaged. The timers are not individual event-queue events: the QP arms
+//     an embedded QpTimerNode on its NIC's per-NIC timer heap, and the NIC
+//     services every due QP from one batched tick event (see rdma_nic.h) —
+//     the way NIC firmware iterates its QP context table on a timer
+//     interrupt rather than keeping a hardware timer per QP;
 //   * DCTCP mode         — a byte-counted congestion window with per-ACK
 //     ECN-fraction estimation instead of pacing; transmission is bursty (the
 //     host pushes segments back-to-back at line rate while the window
@@ -34,6 +38,23 @@
 namespace dcqcn {
 
 class RdmaNic;
+class SenderQp;
+
+// One armed DCQCN timer (alpha or rate-increase) of one QP, filed in its
+// NIC's per-NIC timer heap. The node is owned by the QP (embedded, so arming
+// allocates nothing) and filed/removed only by the NIC; `heap_pos` is its
+// index in the NIC's heap for O(log n) arm and cancel. `arm_seq` is the
+// NIC's monotonic arm counter: equal deadlines — e.g. both timers re-armed
+// by one CNP under zero jitter — are serviced in arm order, matching the
+// FIFO order individually scheduled events would fire in.
+struct QpTimerNode {
+  Time deadline = 0;
+  uint64_t arm_seq = 0;
+  SenderQp* qp = nullptr;
+  uint32_t heap_pos = ~0u;  // index in RdmaNic::qp_timer_heap_; ~0u = idle
+  uint8_t kind = 0;         // 0 = alpha timer, 1 = rate-increase timer
+  bool armed = false;
+};
 
 struct QpCounters {
   int64_t packets_sent = 0;     // includes retransmissions
@@ -90,6 +111,14 @@ class SenderQp {
   void OnNak(Time now, uint64_t expected_seq);
   void OnCnp(Time now);
   void OnQcnFeedback(Time now, int fbq);
+
+  // --- batched DCQCN timer service (called by RdmaNic's per-NIC tick) ---
+  // Fig. 7 alpha-timer / rate-timer expirations, invoked when the embedded
+  // QpTimerNode's deadline is reached. Bodies are exactly the per-event
+  // callbacks they replaced: bail if the limiter released meanwhile, run the
+  // RP update, re-arm while still limiting.
+  void ServiceAlphaTimer();
+  void ServiceRateTimer();
 
   // Structured event tracing (CNP receipt, RP rate/alpha updates); null
   // disables. Set by the owning NIC.
@@ -158,8 +187,10 @@ class SenderQp {
   std::unique_ptr<RpState> rp_;
   // TIMELY (kTimely mode)
   std::unique_ptr<TimelyState> timely_;
-  EventHandle alpha_timer_;
-  EventHandle rate_timer_;
+  // Embedded timer nodes for the NIC's batched per-NIC tick; armed via
+  // nic_->ArmQpTimer, released via nic_->CancelQpTimer.
+  QpTimerNode alpha_node_;
+  QpTimerNode rate_node_;
 
   // DCTCP (only in kDctcp mode)
   Bytes cwnd_ = 0;

@@ -2,27 +2,40 @@
 //
 // Allocation-free in steady state: callbacks live in InlineCallback slots
 // (fixed inline capture storage, no heap fallback), slots are recycled
-// through an intrusive free list, and the ready queue is a 4-ary min-heap of
-// 24-byte entries keyed on (time, sequence). The sequence number breaks ties
-// deterministically in FIFO order: two events scheduled for the same
-// picosecond fire in the order they were scheduled, which keeps whole
-// simulations reproducible across runs and platforms.
+// through an intrusive free list, and pending events live in one of two
+// structures keyed on (time, sequence):
+//
+//  * a hierarchical timer wheel (sim/timer_wheel.h) for everything within
+//    ~68 ms of the wheel cursor — O(1) per event, which is nearly every
+//    event a simulation schedules (serializations, propagations, DCQCN
+//    timers, retransmission timeouts);
+//  * a 4-ary min-heap of 24-byte entries for the sparse far-future
+//    remainder. Heap entries never migrate to the wheel.
+//
+// The two tops are merged with the same (time, sequence) comparison the
+// heap alone used, so the global fire order — and with it every golden
+// trace — is unchanged: two events scheduled for the same picosecond fire
+// in the order they were scheduled, keeping whole simulations reproducible
+// across runs and platforms.
 //
 // Cancellation is O(1) and hash-free: an EventHandle carries its slot index
 // and the 64-bit sequence number stamped on the slot when the event was
-// armed. Cancel() frees the slot (clearing the stamp); the heap entry
-// becomes a tombstone that is skipped when it reaches the top. Sequence
-// numbers are never reused, so a stale handle — fired or cancelled long ago —
-// can never alias a newer event no matter how often its slot is recycled.
+// armed. Cancel() frees the slot (clearing the stamp); a wheel-chained
+// entry is unlinked in place, while heap/ready entries become tombstones
+// skipped when they reach the front. Sequence numbers are never reused, so
+// a stale handle — fired or cancelled long ago — can never alias a newer
+// event no matter how often its slot is recycled.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/units.h"
 #include "sim/inline_callback.h"
+#include "sim/timer_wheel.h"
 
 namespace dcqcn {
 
@@ -64,7 +77,12 @@ class EventQueue {
     Slot& s = slots_[slot];
     s.cb.Emplace(std::forward<F>(cb));
     s.armed_seq = seq;
-    HeapPush(HeapEntry{at, seq, slot});
+    wheel_.SyncIfIdle(now_);
+    if (wheel_.Accepts(at)) {
+      wheel_.Insert(slot, at, seq);
+    } else {
+      HeapPush(HeapEntry{at, seq, slot});
+    }
     ++live_;
     return EventHandle{slot, seq};
   }
@@ -84,6 +102,7 @@ class EventQueue {
     if (!h.valid()) return false;
     Slot& s = slots_[h.slot_];
     if (s.armed_seq != h.seq_) return false;
+    wheel_.OnCancel(h.slot_);  // unlink if chained; tombstone otherwise
     s.cb.Reset();
     FreeSlot(h.slot_);
     --live_;
@@ -97,9 +116,17 @@ class EventQueue {
 
   // Runs the next event; returns false if the queue had no live events.
   bool RunOne() {
-    if (!SkipDeadTop()) return false;
-    FireTop();
-    return true;
+    switch (PrepareTop()) {
+      case TopSrc::kNone:
+        return false;
+      case TopSrc::kHeap:
+        FireTop();
+        return true;
+      case TopSrc::kReady:
+        FireReady();
+        return true;
+    }
+    return false;
   }
 
   // Runs events until the queue drains or the next live event lies beyond
@@ -108,8 +135,16 @@ class EventQueue {
   // earlier (then Now() is advanced to `deadline` as well).
   uint64_t RunUntil(Time deadline) {
     uint64_t n = 0;
-    while (SkipDeadTop() && heap_[0].at <= deadline) {
-      FireTop();
+    for (;;) {
+      const TopSrc src = PrepareTop();
+      if (src == TopSrc::kNone) break;
+      if (src == TopSrc::kHeap) {
+        if (heap_[0].at > deadline) break;
+        FireTop();
+      } else {
+        if (wheel_.ReadyFront().at > deadline) break;
+        FireReady();
+      }
       ++n;
     }
     if (now_ < deadline) now_ = deadline;
@@ -128,9 +163,11 @@ class EventQueue {
   // reservation is amortized as usual.
   void Reserve(size_t events) {
     heap_.reserve(events);
+    wheel_.Reserve(events);
     if (slots_.size() < events) {
       const auto first = static_cast<uint32_t>(slots_.size());
       slots_.resize(events);
+      wheel_.EnsureSlots(slots_.size());
       for (uint32_t i = first; i < slots_.size(); ++i) FreeSlot(i);
     }
   }
@@ -148,6 +185,7 @@ class EventQueue {
   };
 
   static constexpr uint32_t kNoFreeSlot = ~0u;
+  static constexpr Time kTimeMax = std::numeric_limits<Time>::max();
 
   static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
     if (a.at != b.at) return a.at < b.at;
@@ -161,6 +199,7 @@ class EventQueue {
       return slot;
     }
     slots_.emplace_back();  // amortized growth; steady state hits free list
+    wheel_.EnsureSlots(slots_.size());
     return static_cast<uint32_t>(slots_.size() - 1);
   }
 
@@ -206,14 +245,44 @@ class EventQueue {
     heap_[i] = e;
   }
 
-  // Pops cancelled entries off the top; returns true if a live event
-  // remains. The single pruning point: RunOne/RunUntil/RunAll all drain
+  enum class TopSrc : uint8_t { kNone, kHeap, kReady };
+
+  // The single pruning + merge point: drops cancelled entries off both
+  // fronts, drains wheel buckets that could hold the next event, and says
+  // where the earliest live event sits. RunOne/RunUntil/RunAll all drain
   // through here exactly once per pop.
-  bool SkipDeadTop() {
-    while (!heap_.empty() && slots_[heap_[0].slot].armed_seq != heap_[0].seq) {
-      HeapPopMin();
+  TopSrc PrepareTop() {
+    for (;;) {
+      while (!heap_.empty() &&
+             slots_[heap_[0].slot].armed_seq != heap_[0].seq) {
+        HeapPopMin();
+      }
+      wheel_.SkipDeadReady([this](const TimerWheel::Entry& e) {
+        return slots_[e.slot].armed_seq != e.seq;
+      });
+      const bool have_heap = !heap_.empty();
+      const bool have_ready = !wheel_.ReadyEmpty();
+      if (wheel_.HasChained()) {
+        Time known = kTimeMax;
+        if (have_heap) known = heap_[0].at;
+        if (have_ready) {
+          const Time r = wheel_.ReadyFront().at;
+          if (r < known) known = r;
+        }
+        // A chained bucket starting at or before the best known candidate
+        // may hold the true earliest event: advance the wheel and re-check.
+        if (wheel_.NextChainedStart() <= known) {
+          wheel_.DrainOneStep();
+          continue;
+        }
+      }
+      if (!have_ready) return have_heap ? TopSrc::kHeap : TopSrc::kNone;
+      if (!have_heap) return TopSrc::kReady;
+      const TimerWheel::Entry& r = wheel_.ReadyFront();
+      const HeapEntry& h = heap_[0];
+      const bool ready_first = r.at != h.at ? r.at < h.at : r.seq < h.seq;
+      return ready_first ? TopSrc::kReady : TopSrc::kHeap;
     }
-    return !heap_.empty();
   }
 
   // Pre: heap top is live. Frees the slot before invoking so the callback
@@ -230,12 +299,30 @@ class EventQueue {
     cb();
   }
 
+  // Pre: ready front is live. Same contract as FireTop.
+  void FireReady() {
+    const TimerWheel::Entry e = wheel_.PopReady();
+    if (!wheel_.ReadyEmpty()) {
+      // Overlap the next event's slot fetch with this callback's execution
+      // (dead entries prefetch harmlessly; most ready entries are live).
+      __builtin_prefetch(&slots_[wheel_.ReadyFront().slot]);
+    }
+    DCQCN_DCHECK(e.at >= now_);
+    now_ = e.at;
+    Slot& s = slots_[e.slot];
+    InlineCallback cb = std::move(s.cb);
+    FreeSlot(e.slot);
+    --live_;
+    cb();
+  }
+
   Time now_ = 0;
   uint64_t next_seq_ = 1;
   size_t live_ = 0;
   std::vector<HeapEntry> heap_;
   std::vector<Slot> slots_;
   uint32_t free_head_ = kNoFreeSlot;
+  TimerWheel wheel_;
 };
 
 }  // namespace dcqcn

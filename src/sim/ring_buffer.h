@@ -66,6 +66,14 @@ class RingBuffer {
     ++tail_;
   }
 
+  // Appends a slot and returns it for in-place filling — the single-copy
+  // alternative to push_back for large T. The slot holds stale bytes; the
+  // caller must assign every field it will later read.
+  T& push_slot() {
+    if (size() == cap_) Grow();
+    return data_[tail_++ & mask_];
+  }
+
   T& front() {
     DCQCN_DCHECK(!empty());
     return data_[head_ & mask_];

@@ -1,0 +1,392 @@
+// Hierarchical timer wheel for the short-horizon bulk of simulation events.
+//
+// The event core's 4-ary heap pays O(log n) twice per event. At large-Clos
+// scale (hundreds of hosts, thousands of DCQCN flows) almost every event —
+// packet serializations, link arrivals, CNP pacing, 55 us alpha/rate
+// timers, retransmission timeouts — lands within tens of milliseconds of
+// the cursor, which is exactly the regime a timer wheel serves in O(1) per
+// event. EventQueue routes events through this wheel when they fall inside
+// its horizon and keeps the heap for the sparse far-future remainder.
+//
+// Shape: 3 levels x 256 buckets on a 2^12 ps (~4.1 ns) tick:
+//   L0 covers (cursor, cursor + ~1.05 us]   — one tick per bucket
+//   L1 covers up to ~268 us                 — 256 ticks per bucket
+//   L2 covers up to ~68.7 ms                — 64K ticks per bucket
+// Beyond L2 the event stays in the caller's heap forever (entries never
+// migrate from heap to wheel), which is what keeps the horizon a pure
+// routing decision with no re-dispatch cost.
+//
+// Allocation-free in steady state: chained entries are intrusive
+// doubly-linked nodes indexed by the caller's slot id (one pending event
+// per slot, so a parallel node array is exact), buckets are head indices +
+// per-level occupancy bitmaps, and drained buckets land in a reusable
+// sorted `ready` vector.
+//
+// Determinism: the wheel never reorders anything. A drained L0 bucket holds
+// entries of a single absolute tick; they are sorted by (time, seq) into
+// `ready`, sub-tick-exact, and the caller merges ready-front against its
+// heap top with the same (time, seq) comparison — so global fire order is
+// exactly the (time, sequence) FIFO order the heap alone would produce.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace dcqcn {
+
+class TimerWheel {
+ public:
+  TimerWheel() {
+    for (uint32_t& h : heads_) h = kNil;
+  }
+
+  static constexpr int kTickBits = 12;  // 2^12 ps ~= 4.1 ns per tick
+  static constexpr int kSlotBits = 8;   // 256 buckets per level
+  static constexpr int kLevels = 3;
+  static constexpr uint32_t kBucketsPerLevel = 1u << kSlotBits;
+  static constexpr uint32_t kIndexMask = kBucketsPerLevel - 1;
+
+  // A drained (or directly-ready) entry, in the caller's handle terms.
+  struct Entry {
+    Time at;
+    uint64_t seq;
+    uint32_t slot;
+  };
+
+  int64_t cur_tick() const { return cur_tick_; }
+  static constexpr int64_t TickOf(Time at) { return at >> kTickBits; }
+
+  // True when `at` falls inside the wheel horizon relative to the cursor
+  // (route here); false means the caller should keep the event in its heap.
+  bool Accepts(Time at) const {
+    return (TickOf(at) >> (2 * kSlotBits)) - (cur_tick_ >> (2 * kSlotBits)) <=
+           static_cast<int64_t>(kBucketsPerLevel);
+  }
+
+  // Fast-forwards an idle wheel's cursor to `now`. The cursor normally
+  // advances by draining buckets; after a long heap-only stretch (e.g. an
+  // idle network waiting on a far retransmission timeout) an empty wheel
+  // would otherwise lag so far behind that new short-delay events miss the
+  // horizon and fall back to the heap.
+  void SyncIfIdle(Time now) {
+    if (chained_ == 0 && ReadyEmpty() && TickOf(now) > cur_tick_) {
+      cur_tick_ = TickOf(now);
+    }
+  }
+
+  // Grows the per-slot node array alongside the caller's slot array.
+  void EnsureSlots(size_t n) {
+    if (nodes_.size() < n) nodes_.resize(n);
+  }
+
+  void Reserve(size_t n) {
+    nodes_.reserve(n);
+    ready_.reserve(n);
+  }
+
+  // Files the armed event under `slot`. Pre: Accepts(at), slot < size from
+  // EnsureSlots, and the slot holds no other wheel entry (the caller's
+  // one-pending-event-per-slot invariant).
+  void Insert(uint32_t slot, Time at, uint64_t seq) {
+    const int64_t tick = TickOf(at);
+    const int64_t delta = tick - cur_tick_;
+    if (delta <= 0) {
+      InsertReady(Entry{at, seq, slot});
+      return;
+    }
+    int level = 0;
+    int64_t pos = tick;
+    if (delta > static_cast<int64_t>(kBucketsPerLevel)) {
+      const int64_t super_delta =
+          (tick >> kSlotBits) - (cur_tick_ >> kSlotBits);
+      if (super_delta <= static_cast<int64_t>(kBucketsPerLevel)) {
+        level = 1;
+        pos = tick >> kSlotBits;
+      } else {
+        level = 2;
+        pos = tick >> (2 * kSlotBits);
+        DCQCN_DCHECK(pos - (cur_tick_ >> (2 * kSlotBits)) <=
+                     static_cast<int64_t>(kBucketsPerLevel));
+      }
+    }
+    Link(level, pos, slot, at, seq);
+  }
+
+  // O(1) unlink when the cancelled event is chained in a bucket; no-op for
+  // entries that already moved to `ready` (the caller's armed-seq check
+  // tombstones those lazily) or live in the caller's heap.
+  void OnCancel(uint32_t slot) {
+    if (slot < nodes_.size() && nodes_[slot].bucket != kNoBucket) {
+      Unlink(slot);
+    }
+  }
+
+  bool HasChained() const { return chained_ > 0; }
+
+  // Earliest possible time of any chained entry: the start time of the
+  // first occupied bucket in cursor order, preferring coarser levels on
+  // ties so cascades happen before same-time L0 drains. Pre: HasChained().
+  // The scan result is cached between calls — Link refines it when an
+  // insert lands in an earlier bucket, Unlink invalidates it when the
+  // cached bucket empties — so the steady-state cost is O(1) per event,
+  // not a 3-level bitmap scan.
+  Time NextChainedStart() {
+    if (next_level_ < 0) RecomputeNext();
+    return next_start_;
+  }
+
+  // One unit of wheel progress at the earliest occupied bucket: either a
+  // cascade (L2 bucket re-filed into L1/L0, or L1 into L0) or an L0 drain
+  // (the bucket's single tick, sorted by (time, seq) and appended to
+  // `ready`, cursor advanced to that tick). Pre: HasChained().
+  void DrainOneStep() {
+    if (next_level_ < 0) RecomputeNext();
+    const int level = next_level_;
+    const int64_t pos = next_pos_;
+    next_level_ = -1;  // the bucket is consumed either way
+    if (level == 0) {
+      DrainL0Bucket(pos);
+    } else {
+      Cascade(level, pos);
+    }
+  }
+
+  // --- the sorted ready list (entries at ticks <= cursor) ---
+
+  bool ReadyEmpty() const { return ready_pos_ == ready_.size(); }
+
+  const Entry& ReadyFront() const { return ready_[ready_pos_]; }
+
+  // Advances past entries `dead` says were cancelled (armed-seq mismatch in
+  // the caller's slot table).
+  template <typename Pred>
+  void SkipDeadReady(Pred&& dead) {
+    while (ready_pos_ < ready_.size() && dead(ready_[ready_pos_])) {
+      ++ready_pos_;
+    }
+    MaybeResetReady();
+  }
+
+  Entry PopReady() {
+    DCQCN_DCHECK(!ReadyEmpty());
+    const Entry e = ready_[ready_pos_++];
+    MaybeResetReady();
+    return e;
+  }
+
+  size_t chained_entries() const { return chained_; }  // introspection/tests
+
+ private:
+  struct Node {
+    Time at = 0;
+    uint64_t seq = 0;
+    uint32_t prev = kNil;
+    uint32_t next = kNil;
+    uint32_t bucket = kNoBucket;  // level * 256 + index, or kNoBucket
+  };
+
+  static constexpr uint32_t kNil = ~0u;
+  static constexpr uint32_t kNoBucket = ~0u;
+  static constexpr int kWordsPerLevel =
+      static_cast<int>(kBucketsPerLevel / 64);
+
+  void Link(int level, int64_t pos, uint32_t slot, Time at, uint64_t seq) {
+    const uint32_t index = static_cast<uint32_t>(pos) & kIndexMask;
+    const uint32_t b = static_cast<uint32_t>(level) * kBucketsPerLevel + index;
+    Node& n = nodes_[slot];
+    DCQCN_DCHECK(n.bucket == kNoBucket);
+    n.at = at;
+    n.seq = seq;
+    n.prev = kNil;
+    n.next = heads_[b];
+    n.bucket = b;
+    if (heads_[b] != kNil) nodes_[heads_[b]].prev = slot;
+    heads_[b] = slot;
+    bitmap_[level][index >> 6] |= uint64_t{1} << (index & 63);
+    ++chained_;
+    // Refine a valid next-bucket cache; coarser level wins a start-time tie
+    // (same rule as the scan). A dirty cache stays dirty.
+    if (next_level_ >= 0) {
+      const Time start = pos << (level * kSlotBits + kTickBits);
+      if (start < next_start_ ||
+          (start == next_start_ && level > next_level_)) {
+        next_level_ = level;
+        next_pos_ = pos;
+        next_start_ = start;
+      }
+    }
+  }
+
+  void Unlink(uint32_t slot) {
+    Node& n = nodes_[slot];
+    const uint32_t b = n.bucket;
+    if (n.prev != kNil) {
+      nodes_[n.prev].next = n.next;
+    } else {
+      heads_[b] = n.next;
+    }
+    if (n.next != kNil) nodes_[n.next].prev = n.prev;
+    n.bucket = kNoBucket;
+    if (heads_[b] == kNil) {
+      const uint32_t index = b & kIndexMask;
+      const int level = static_cast<int>(b >> kSlotBits);
+      bitmap_[level][index >> 6] &= ~(uint64_t{1} << (index & 63));
+      // Buckets ahead of the cursor are unique per (level, index), so an
+      // index match means the cached earliest bucket just emptied.
+      if (next_level_ == level &&
+          (static_cast<uint32_t>(next_pos_) & kIndexMask) == index) {
+        next_level_ = -1;
+      }
+    }
+    --chained_;
+  }
+
+  // Full 3-level scan for the earliest occupied bucket, filling the cache.
+  // Pre: HasChained().
+  void RecomputeNext() {
+    Time best = std::numeric_limits<Time>::max();
+    for (int level = kLevels - 1; level >= 0; --level) {
+      const int shift = level * kSlotBits;
+      const int64_t base = (cur_tick_ >> shift) + 1;
+      const int d = FirstOccupiedDistance(level, static_cast<uint32_t>(base) &
+                                                     kIndexMask);
+      if (d < 0) continue;
+      const Time start = (base + d) << (shift + kTickBits);
+      if (start < best) {
+        best = start;
+        next_level_ = level;
+        next_pos_ = base + d;
+      }
+    }
+    DCQCN_CHECK(best != std::numeric_limits<Time>::max());
+    next_start_ = best;
+  }
+
+  // Circular distance (0..255) from `start` to the first occupied bucket of
+  // `level`, or -1 when the level is empty. Distance order equals time
+  // order because each level's live buckets span exactly one wrap of the
+  // index space starting at the cursor's successor.
+  int FirstOccupiedDistance(int level, uint32_t start) const {
+    const uint64_t* bm = bitmap_[level];
+    uint32_t word = start >> 6;
+    uint64_t bits = bm[word] >> (start & 63);
+    if (bits != 0) {
+      return static_cast<int>(__builtin_ctzll(bits));
+    }
+    int scanned = 64 - static_cast<int>(start & 63);
+    for (int i = 1; i <= kWordsPerLevel; ++i) {
+      word = (word + 1) & (kWordsPerLevel - 1);
+      if (bm[word] != 0) {
+        const int d = scanned + static_cast<int>(__builtin_ctzll(bm[word]));
+        return d < static_cast<int>(kBucketsPerLevel) ? d : -1;
+      }
+      scanned += 64;
+      if (scanned >= static_cast<int>(kBucketsPerLevel) + 64) break;
+    }
+    return -1;
+  }
+
+  // Moves every entry of the level-`level` bucket holding coarse position
+  // `pos` down a level (or to L0/ready), advancing the cursor to the bucket
+  // boundary first so re-filing routes by the new window.
+  void Cascade(int level, int64_t pos) {
+    const int shift = level * kSlotBits;
+    // The bucket's first tick minus one: entries (all >= pos << shift) stay
+    // strictly ahead of the cursor, and every delta fits the next level.
+    const int64_t boundary = (pos << shift) - 1;
+    DCQCN_DCHECK(boundary >= cur_tick_);
+    cur_tick_ = boundary;
+    const uint32_t b = static_cast<uint32_t>(level) * kBucketsPerLevel +
+                       (static_cast<uint32_t>(pos) & kIndexMask);
+    uint32_t slot = heads_[b];
+    heads_[b] = kNil;
+    {
+      const uint32_t index = b & kIndexMask;
+      bitmap_[level][index >> 6] &= ~(uint64_t{1} << (index & 63));
+    }
+    while (slot != kNil) {
+      Node& n = nodes_[slot];
+      const uint32_t next = n.next;
+      // The chain hops through scattered node-array lines; start fetching
+      // the successor while this entry is re-filed.
+      if (next != kNil) __builtin_prefetch(&nodes_[next]);
+      n.bucket = kNoBucket;
+      --chained_;
+      Insert(slot, n.at, n.seq);
+      slot = next;
+    }
+  }
+
+  // Drains the single-tick L0 bucket at absolute tick `tick` into `ready`,
+  // sorted by (time, seq).
+  void DrainL0Bucket(int64_t tick) {
+    DCQCN_DCHECK(tick > cur_tick_);
+    cur_tick_ = tick;
+    const uint32_t index = static_cast<uint32_t>(tick) & kIndexMask;
+    const uint32_t b = index;  // level 0
+    uint32_t slot = heads_[b];
+    heads_[b] = kNil;
+    bitmap_[0][index >> 6] &= ~(uint64_t{1} << (index & 63));
+    // Every drained entry's time is >= any entry already in ready (their
+    // ticks were <= the old cursor < this tick), so appending keeps ready
+    // globally sorted once the appended range itself is.
+    MaybeResetReady();
+    const size_t base = ready_.size();
+    while (slot != kNil) {
+      Node& n = nodes_[slot];
+      // Linked-list walk over scattered nodes: overlap the successor's
+      // cache miss with this entry's copy-out.
+      if (n.next != kNil) __builtin_prefetch(&nodes_[n.next]);
+      ready_.push_back(Entry{n.at, n.seq, slot});
+      n.bucket = kNoBucket;
+      --chained_;
+      slot = n.next;
+    }
+    if (ready_.size() - base > 1) {
+      const auto first = ready_.begin() + static_cast<long>(base);
+      std::sort(first, ready_.end(), [](const Entry& a, const Entry& b) {
+        if (a.at != b.at) return a.at < b.at;
+        return a.seq < b.seq;
+      });
+    }
+  }
+
+  // Sorted insert for entries at or behind the cursor (the bucket for their
+  // tick has already drained). New events carry the largest sequence number
+  // so far, so upper_bound lands them after any same-time entry: FIFO.
+  void InsertReady(const Entry& e) {
+    auto it = std::upper_bound(ready_.begin() + static_cast<long>(ready_pos_),
+                               ready_.end(), e,
+                               [](const Entry& a, const Entry& b) {
+                                 if (a.at != b.at) return a.at < b.at;
+                                 return a.seq < b.seq;
+                               });
+    ready_.insert(it, e);
+  }
+
+  void MaybeResetReady() {
+    if (ready_pos_ == ready_.size()) {
+      ready_.clear();  // keeps capacity
+      ready_pos_ = 0;
+    }
+  }
+
+  int64_t cur_tick_ = 0;
+  size_t chained_ = 0;
+  // Cached earliest occupied bucket (-1 level = unknown, recompute lazily).
+  int next_level_ = -1;
+  int64_t next_pos_ = 0;
+  Time next_start_ = 0;
+  std::vector<Node> nodes_;  // indexed by the caller's slot id
+  uint32_t heads_[kLevels * kBucketsPerLevel] = {};  // value-init then fixed
+  uint64_t bitmap_[kLevels][kWordsPerLevel] = {};
+  std::vector<Entry> ready_;
+  size_t ready_pos_ = 0;
+};
+
+}  // namespace dcqcn

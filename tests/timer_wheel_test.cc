@@ -1,0 +1,303 @@
+// Property test for the hierarchical timer wheel (sim/timer_wheel.h),
+// exercised both directly — a driver that replicates EventQueue's
+// drain-and-merge loop against a sorted-vector reference model — and through
+// EventQueue with delays spanning every wheel level plus the heap overflow
+// band. Reuses the harness style of event_queue_property_test: random
+// schedule/cancel/reschedule/advance interleavings over 10 seeds; any
+// divergence in fire order or liveness is a determinism bug.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/event_queue.h"
+#include "sim/timer_wheel.h"
+
+namespace dcqcn {
+namespace {
+
+// Reference model shared by both tests: append-only vector of scheduled
+// events, popped by linear scan for the smallest live (time, seq).
+struct RefEvent {
+  Time at = 0;
+  uint64_t seq = 0;
+  bool live = false;
+};
+
+class ReferenceModel {
+ public:
+  void Schedule(Time at, uint64_t seq) {
+    events_.push_back(RefEvent{at, seq, true});
+  }
+
+  bool Cancel(uint64_t seq) {
+    for (RefEvent& e : events_) {
+      if (e.seq != seq) continue;
+      const bool was_live = e.live;
+      e.live = false;
+      return was_live;
+    }
+    return false;
+  }
+
+  // Pops the earliest live (at, seq), or nullptr when drained.
+  const RefEvent* PopNext() {
+    RefEvent* best = nullptr;
+    for (RefEvent& e : events_) {
+      if (!e.live) continue;
+      if (best == nullptr || e.at < best->at ||
+          (e.at == best->at && e.seq < best->seq)) {
+        best = &e;
+      }
+    }
+    if (best != nullptr) best->live = false;
+    return best;
+  }
+
+  size_t LiveCount() const {
+    size_t n = 0;
+    for (const RefEvent& e : events_) n += e.live ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::vector<RefEvent> events_;
+};
+
+// Driver owning a bare TimerWheel the way EventQueue does: a slot table
+// mapping wheel slots to armed sequence numbers (for lazy ready-tombstones),
+// plus the drain-until-quiescent merge loop from EventQueue::PrepareTop —
+// here wheel-only, so the "known candidate" is just the ready front.
+class WheelDriver {
+ public:
+  static constexpr uint32_t kSlots = 512;
+
+  WheelDriver() {
+    wheel_.EnsureSlots(kSlots);
+    armed_.assign(kSlots, 0);
+    for (uint32_t s = kSlots; s-- > 0;) free_.push_back(s);
+  }
+
+  bool HasFreeSlot() const { return !free_.empty(); }
+  size_t Live() const { return live_; }
+  TimerWheel& wheel() { return wheel_; }
+
+  // Returns the armed sequence number (the test's handle).
+  uint64_t Schedule(Time at) {
+    const uint32_t slot = free_.back();
+    free_.pop_back();
+    const uint64_t seq = next_seq_++;
+    armed_[slot] = seq;
+    slot_of_[seq] = slot;
+    wheel_.Insert(slot, at, seq);
+    ++live_;
+    return seq;
+  }
+
+  bool Cancel(uint64_t seq) {
+    auto it = slot_of_.find(seq);
+    if (it == slot_of_.end()) return false;
+    const uint32_t slot = it->second;
+    if (armed_[slot] != seq) return false;
+    wheel_.OnCancel(slot);
+    Release(slot);
+    return true;
+  }
+
+  // Pops the earliest live entry, draining chained buckets first exactly
+  // like EventQueue::PrepareTop. Returns false when the wheel is empty.
+  bool PopNext(Time* at, uint64_t* seq) {
+    for (;;) {
+      wheel_.SkipDeadReady(
+          [this](const TimerWheel::Entry& e) { return armed_[e.slot] != e.seq; });
+      if (wheel_.HasChained()) {
+        const Time known = wheel_.ReadyEmpty()
+                               ? std::numeric_limits<Time>::max()
+                               : wheel_.ReadyFront().at;
+        if (wheel_.NextChainedStart() <= known) {
+          wheel_.DrainOneStep();
+          continue;
+        }
+      }
+      if (wheel_.ReadyEmpty()) return false;
+      const TimerWheel::Entry e = wheel_.PopReady();
+      *at = e.at;
+      *seq = e.seq;
+      Release(e.slot);
+      return true;
+    }
+  }
+
+ private:
+  void Release(uint32_t slot) {
+    armed_[slot] = 0;
+    free_.push_back(slot);
+    --live_;
+  }
+
+  TimerWheel wheel_;
+  std::vector<uint64_t> armed_;  // slot -> armed seq (0 = free)
+  std::vector<uint32_t> free_;
+  std::unordered_map<uint64_t, uint32_t> slot_of_;
+  uint64_t next_seq_ = 1;
+  size_t live_ = 0;
+};
+
+// Random delay spanning the wheel's bands: ready (<= 1 tick), L0 (~1 us),
+// L1 (~268 us), L2 (~68 ms) — clamped into the horizon via Accepts.
+Time RandomWheelDelay(Rng& rng, const TimerWheel& wheel, Time now) {
+  const int band = static_cast<int>(rng.UniformInt(0, 3));
+  Time delay = 0;
+  switch (band) {
+    case 0: delay = rng.UniformInt(0, (1 << 12) - 1); break;          // ready/L0 edge
+    case 1: delay = rng.UniformInt(0, (1 << 20) - 1); break;          // L0/L1
+    case 2: delay = rng.UniformInt(0, (1 << 28) - 1); break;          // L1/L2
+    default: delay = rng.UniformInt(0, (int64_t{1} << 36) - 1); break;  // deep L2
+  }
+  Time at = now + delay;
+  while (!wheel.Accepts(at)) at = now + (at - now) / 2;
+  return at;
+}
+
+TEST(TimerWheelProperty, RandomChurnMatchesReferenceModel) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    WheelDriver driver;
+    ReferenceModel ref;
+    Rng rng(seed);
+
+    Time now = 0;
+    std::vector<uint64_t> issued;  // every handle ever issued
+
+    const int kOps = 3000;
+    for (int op = 0; op < kOps; ++op) {
+      const int64_t roll = rng.UniformInt(0, 99);
+      if (roll < 55 && driver.HasFreeSlot()) {
+        const Time at = RandomWheelDelay(rng, driver.wheel(), now);
+        const uint64_t seq = driver.Schedule(at);
+        ref.Schedule(at, seq);
+        issued.push_back(seq);
+      } else if (roll < 70 && !issued.empty()) {
+        // Cancel a random handle — possibly live, fired, or re-cancelled.
+        const auto i = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(issued.size()) - 1));
+        EXPECT_EQ(driver.Cancel(issued[i]), ref.Cancel(issued[i]));
+      } else if (roll < 80 && !issued.empty() && driver.HasFreeSlot()) {
+        // Reschedule: cancel + schedule anew (the NIC timer re-arm idiom).
+        const auto i = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(issued.size()) - 1));
+        EXPECT_EQ(driver.Cancel(issued[i]), ref.Cancel(issued[i]));
+        const Time at = RandomWheelDelay(rng, driver.wheel(), now);
+        const uint64_t seq = driver.Schedule(at);
+        ref.Schedule(at, seq);
+        issued.push_back(seq);
+      } else {
+        // Advance: pop a burst, checking (time, seq) against the model.
+        const int64_t burst = rng.UniformInt(1, 6);
+        for (int64_t b = 0; b < burst; ++b) {
+          Time at = 0;
+          uint64_t seq = 0;
+          const bool popped = driver.PopNext(&at, &seq);
+          const RefEvent* e = ref.PopNext();
+          ASSERT_EQ(popped, e != nullptr);
+          if (e == nullptr) break;
+          EXPECT_EQ(at, e->at);
+          EXPECT_EQ(seq, e->seq);
+          EXPECT_GE(at, now);
+          now = at;
+        }
+      }
+      ASSERT_EQ(driver.Live(), ref.LiveCount());
+    }
+
+    // Drain everything that's left, still in exact (time, seq) order.
+    for (;;) {
+      Time at = 0;
+      uint64_t seq = 0;
+      const bool popped = driver.PopNext(&at, &seq);
+      const RefEvent* e = ref.PopNext();
+      ASSERT_EQ(popped, e != nullptr);
+      if (e == nullptr) break;
+      EXPECT_EQ(at, e->at);
+      EXPECT_EQ(seq, e->seq);
+    }
+    EXPECT_EQ(driver.Live(), 0u);
+  }
+}
+
+// The same churn through EventQueue, now including delays beyond the wheel
+// horizon (heap overflow band) — the heap/wheel merge must preserve global
+// (time, seq) FIFO order across the routing boundary.
+TEST(TimerWheelProperty, EventQueueChurnAcrossAllBandsMatchesReference) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EventQueue eq;
+    ReferenceModel ref;
+    Rng rng(seed);
+
+    struct Issued {
+      EventHandle handle;
+      uint64_t ref_seq;
+    };
+    std::vector<Issued> issued;
+    std::vector<uint64_t> fired;     // ref seqs in actual fire order
+    std::vector<uint64_t> expected;  // ref seqs in reference fire order
+    uint64_t next_ref_seq = 1;
+
+    auto random_delay = [&rng]() -> Time {
+      switch (static_cast<int>(rng.UniformInt(0, 4))) {
+        case 0: return rng.UniformInt(0, (1 << 12) - 1);            // sub-tick
+        case 1: return rng.UniformInt(0, (1 << 20) - 1);            // L0/L1
+        case 2: return rng.UniformInt(0, (1 << 28) - 1);            // L1/L2
+        case 3: return rng.UniformInt(0, (int64_t{1} << 36) - 1);   // deep L2
+        default:
+          // Beyond the ~68 ms horizon: stays in the heap forever.
+          return Milliseconds(69) + rng.UniformInt(0, Milliseconds(500));
+      }
+    };
+
+    const int kOps = 2500;
+    for (int op = 0; op < kOps; ++op) {
+      const int64_t roll = rng.UniformInt(0, 99);
+      if (roll < 55) {
+        const Time at = eq.Now() + random_delay();
+        const uint64_t ref_seq = next_ref_seq++;
+        Issued s;
+        s.handle = eq.ScheduleAt(at, [&fired, ref_seq] {
+          fired.push_back(ref_seq);
+        });
+        s.ref_seq = ref_seq;
+        ref.Schedule(at, ref_seq);
+        issued.push_back(s);
+      } else if (roll < 75 && !issued.empty()) {
+        const auto i = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(issued.size()) - 1));
+        EXPECT_EQ(eq.Cancel(issued[i].handle), ref.Cancel(issued[i].ref_seq));
+      } else {
+        const int64_t burst = rng.UniformInt(1, 5);
+        for (int64_t b = 0; b < burst; ++b) {
+          const RefEvent* e = ref.PopNext();
+          const bool ran = eq.RunOne();
+          ASSERT_EQ(ran, e != nullptr);
+          if (e == nullptr) break;
+          expected.push_back(e->seq);
+          EXPECT_EQ(eq.Now(), e->at);
+        }
+      }
+      ASSERT_EQ(eq.PendingEvents(), ref.LiveCount());
+    }
+
+    while (const RefEvent* e = ref.PopNext()) expected.push_back(e->seq);
+    eq.RunAll();
+    EXPECT_TRUE(eq.Empty());
+    EXPECT_EQ(fired, expected);
+  }
+}
+
+}  // namespace
+}  // namespace dcqcn
