@@ -225,12 +225,13 @@ std::vector<ScaleCase> ScaleCases(bool smoke) {
 }
 
 runner::TrialSpec ScaleTrial(const ScaleCase& c,
-                             std::vector<double>* wall_seconds) {
+                             std::vector<double>* wall_seconds,
+                             runner::CcSelection cc) {
   runner::TrialSpec spec;
   spec.name = c.name;
-  spec.run = [c, wall_seconds](const runner::TrialContext& ctx) {
+  spec.run = [c, wall_seconds, cc](const runner::TrialContext& ctx) {
     Network net(ctx.seed);
-    const ClosTopology topo = BuildClos(net, c.shape, TopologyOptions{});
+    const ClosTopology topo = BuildClos(net, c.shape, CcTopo(cc.mode));
     const std::vector<RdmaNic*> hosts = AllHosts(topo);
     const int n = static_cast<int>(hosts.size());
     const int hpt = c.shape.hosts_per_tor;
@@ -265,7 +266,8 @@ runner::TrialSpec ScaleTrial(const ScaleCase& c,
         fs.src_host = hosts[static_cast<size_t>(i)]->id();
         fs.dst_host = hosts[static_cast<size_t>(dst)]->id();
         fs.size_bytes = 0;  // unbounded: concurrent for the whole window
-        fs.mode = TransportMode::kRdmaDcqcn;
+        fs.mode = cc.mode;
+        fs.cc_policy = cc.policy;
         fs.ecmp_salt = traffic.NextU64();
         net.StartFlow(fs);
         flows.push_back({hosts[static_cast<size_t>(dst)], fs.flow_id});
@@ -299,6 +301,31 @@ runner::TrialSpec ScaleTrial(const ScaleCase& c,
     return r;
   };
   return spec;
+}
+
+void StartGreedyFlow(Network& net, RdmaNic* src, RdmaNic* dst, int flow_id,
+                     const runner::CcSelection& cc, Time start) {
+  FlowSpec f;
+  f.flow_id = flow_id;
+  f.src_host = src->id();
+  f.dst_host = dst->id();
+  f.size_bytes = 0;  // greedy
+  f.mode = cc.mode;
+  f.cc_policy = cc.policy;
+  f.start_time = start;
+  net.StartFlow(f);
+}
+
+Bytes DeliveredSum(const RdmaNic* dst, int n) {
+  Bytes total = 0;
+  for (int i = 0; i < n; ++i) total += dst->ReceiverDeliveredBytes(i);
+  return total;
+}
+
+double WindowGbps(Bytes bytes, Time window) {
+  if (window <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8 /
+         (static_cast<double>(window) / static_cast<double>(kSecond)) / 1e9;
 }
 
 }  // namespace bench

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cc/scenarios.h"
 #include "core/params.h"
 #include "net/topology.h"
 #include "runner/runner.h"
@@ -79,6 +80,33 @@ IncastResult RunIncast(int k, uint64_t seed = 8);
 
 inline TopologyOptions DefaultTopo() { return TopologyOptions{}; }
 
+// ---------- CC-comparison scaffolding (ext_qcn / ext_timely) ----------
+//
+// The scenario-independent pieces the congestion-control comparison benches
+// share: switch-side defaults for a policy's experiments, greedy-flow
+// startup with the policy stamped on, and windowed goodput readouts.
+// Keeping them here guarantees the harnesses differ only in scenario shape,
+// and gives every bench the same --cc=POLICY axis (runner::ResolveCc).
+
+// Topology options with the switch defaults `mode`'s experiments assume
+// (QCN: switch CP on + RED off; TIMELY: RED off; others: deployment RED).
+inline TopologyOptions CcTopo(TransportMode mode) {
+  TopologyOptions opt;
+  cc::ApplyCcSwitchDefaults(mode, &opt.switch_config);
+  return opt;
+}
+
+// Starts one greedy (unbounded) flow src -> dst with an explicit flow id
+// under the given CC selection.
+void StartGreedyFlow(Network& net, RdmaNic* src, RdmaNic* dst, int flow_id,
+                     const runner::CcSelection& cc, Time start = 0);
+
+// Delivered-bytes sum over flow ids [0, n) at `dst`.
+Bytes DeliveredSum(const RdmaNic* dst, int n);
+
+// Goodput in Gbps of `bytes` delivered over `window`.
+double WindowGbps(Bytes bytes, Time window);
+
 // ---------- ext_scale: large-Clos scaling sweep ----------
 //
 // One trial = one Clos fabric under sustained cross-ToR DCQCN load: every
@@ -103,9 +131,12 @@ std::vector<ScaleCase> ScaleCases(bool smoke);
 
 // `wall_seconds`, when non-null, must be pre-sized to the matrix size; the
 // trial body writes its run-loop wall time into slot trial_index (distinct
-// slots, so concurrent trials never race).
-runner::TrialSpec ScaleTrial(const ScaleCase& c,
-                             std::vector<double>* wall_seconds);
+// slots, so concurrent trials never race). `cc` selects the congestion
+// control every flow runs under (default: DCQCN, byte-identical to before
+// the axis existed).
+runner::TrialSpec ScaleTrial(
+    const ScaleCase& c, std::vector<double>* wall_seconds,
+    runner::CcSelection cc = {TransportMode::kRdmaDcqcn, -1});
 
 // Convenience quantile printers.
 inline double Q(const Cdf& c, double p) {

@@ -9,38 +9,25 @@
 //      first L3 boundary, remote senders never slow down, and PFC must
 //      carry the congestion — with all its collateral damage — while
 //      DCQCN's IP-routable CNPs keep the fabric quiet.
+//
+// `--cc=POLICY` swaps the QCN arm for any registered CcPolicy; the default
+// output is byte-identical to the pre-flag harness.
 #include <cstdio>
+#include <string>
 
-#include "net/topology.h"
-#include "stats/monitor.h"
+#include "bench/common.h"
+#include "runner/runner.h"
 
 using namespace dcqcn;
 
 namespace {
 
-QcnParams QcnOn() {
-  QcnParams q;
-  q.enabled = true;
-  return q;
-}
-
-void SingleSwitch(TransportMode mode, const char* label) {
-  TopologyOptions opt;
-  if (mode == TransportMode::kQcn) {
-    opt.switch_config.red.enabled = false;
-    opt.switch_config.qcn = QcnOn();
-  }
+void SingleSwitch(const runner::CcSelection& cc, const char* label) {
   Network net(5);
-  StarTopology topo = BuildStar(net, 3, opt);
+  StarTopology topo = BuildStar(net, 3, bench::CcTopo(cc.mode));
   for (int i = 0; i < 2; ++i) {
-    FlowSpec f;
-    f.flow_id = i;
-    f.src_host = topo.hosts[static_cast<size_t>(i)]->id();
-    f.dst_host = topo.hosts[2]->id();
-    f.size_bytes = 0;
-    f.mode = mode;
-    f.start_time = i * Milliseconds(5);
-    net.StartFlow(f);
+    bench::StartGreedyFlow(net, topo.hosts[static_cast<size_t>(i)],
+                           topo.hosts[2], i, cc, i * Milliseconds(5));
   }
   net.RunFor(Milliseconds(60));
   Bytes b0[2];
@@ -50,29 +37,18 @@ void SingleSwitch(TransportMode mode, const char* label) {
   net.RunFor(Milliseconds(20));
   double r[2];
   for (int i = 0; i < 2; ++i) {
-    r[i] = static_cast<double>(topo.hosts[2]->ReceiverDeliveredBytes(i) -
-                               b0[i]) * 8 / 20e-3 / 1e9;
+    r[i] = bench::WindowGbps(
+        topo.hosts[2]->ReceiverDeliveredBytes(i) - b0[i], Milliseconds(20));
   }
   std::printf("  %-8s f1 %6.2f  f2 %6.2f Gbps   (fair: 20/20)\n", label,
               r[0], r[1]);
 }
 
-void ClosIncast(TransportMode mode, const char* label) {
-  TopologyOptions opt;
-  if (mode == TransportMode::kQcn) {
-    opt.switch_config.red.enabled = false;
-    opt.switch_config.qcn = QcnOn();
-  }
+void ClosIncast(const runner::CcSelection& cc, const char* label) {
   Network net(5);
-  ClosTopology topo = BuildClos(net, 5, opt);
+  ClosTopology topo = BuildClos(net, 5, bench::CcTopo(cc.mode));
   for (int h = 0; h < 4; ++h) {
-    FlowSpec f;
-    f.flow_id = h;
-    f.src_host = topo.host(0, h)->id();
-    f.dst_host = topo.host(3, 0)->id();
-    f.size_bytes = 0;
-    f.mode = mode;
-    net.StartFlow(f);
+    bench::StartGreedyFlow(net, topo.host(0, h), topo.host(3, 0), h, cc);
   }
   net.RunFor(Milliseconds(25));
   int64_t fb_dropped = 0;
@@ -87,15 +63,25 @@ void ClosIncast(TransportMode mode, const char* label) {
 
 }  // namespace
 
-int main() {
-  std::printf("Extension: QCN vs DCQCN\n\n");
+int main(int argc, char** argv) {
+  const runner::CliOptions cli = runner::ParseCli(argc, argv);
+  if (!cli.ok) {
+    std::fprintf(stderr, "%s\n", cli.error.c_str());
+    return 1;
+  }
+  const runner::CcSelection champion{TransportMode::kRdmaDcqcn, -1};
+  const runner::CcSelection challenger =
+      runner::ResolveCc(cli.cc, TransportMode::kQcn);
+  const std::string label = cli.cc.empty() ? "QCN" : cli.cc;
+
+  std::printf("Extension: %s vs DCQCN\n\n", label.c_str());
   std::printf("(1) one L2 domain — two staggered flows, one switch:\n");
-  SingleSwitch(TransportMode::kQcn, "QCN");
-  SingleSwitch(TransportMode::kRdmaDcqcn, "DCQCN");
+  SingleSwitch(challenger, label.c_str());
+  SingleSwitch(champion, "DCQCN");
 
   std::printf("\n(2) IP-routed Clos — 4:1 cross-pod incast:\n");
-  ClosIncast(TransportMode::kQcn, "QCN");
-  ClosIncast(TransportMode::kRdmaDcqcn, "DCQCN");
+  ClosIncast(challenger, label.c_str());
+  ClosIncast(champion, "DCQCN");
 
   std::printf(
       "\npaper's argument (§2.3): QCN works inside an L2 domain but its "

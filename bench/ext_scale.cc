@@ -13,7 +13,8 @@
 // verify this). Wall-clock throughput is printed to stdout only.
 //
 // Flags: `--smoke` (10x shorter simulated windows, for CI) plus the
-// standard runner flags `--jobs/--seed/--json/--csv`.
+// standard runner flags `--jobs/--seed/--json/--csv` and `--cc=POLICY`
+// (run the whole sweep under another registered congestion control).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -46,8 +47,10 @@ int main(int argc, char** argv) {
   std::vector<double> wall_seconds(cases.size(), 0.0);
   std::vector<runner::TrialSpec> matrix;
   matrix.reserve(cases.size());
+  const runner::CcSelection cc =
+      runner::ResolveCc(cli.cc, TransportMode::kRdmaDcqcn);
   for (const bench::ScaleCase& c : cases) {
-    matrix.push_back(bench::ScaleTrial(c, &wall_seconds));
+    matrix.push_back(bench::ScaleTrial(c, &wall_seconds, cc));
   }
 
   runner::RunnerOptions opt;

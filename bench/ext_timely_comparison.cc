@@ -7,86 +7,67 @@
 // (b) the sensitivity experiment the quote implies: congesting the
 // *reverse* path (where ACKs/CNPs travel) and watching what happens to a
 // forward flow's rate.
+//
+// `--cc=POLICY` swaps the challenger arm for any registered CcPolicy
+// (e.g. --cc=qcn pits DCQCN against QCN on the same scenarios); the
+// default output is byte-identical to the pre-flag harness.
 #include <cstdio>
+#include <string>
 
-#include "net/topology.h"
+#include "bench/common.h"
+#include "runner/runner.h"
 #include "stats/monitor.h"
 
 using namespace dcqcn;
 
 namespace {
 
-void Incast(TransportMode mode, const char* label) {
-  TopologyOptions opt;
-  if (mode == TransportMode::kTimely) opt.switch_config.red.enabled = false;
+void Incast(const runner::CcSelection& cc, const char* label) {
   Network net(9);
-  StarTopology topo = BuildStar(net, 9, opt);
+  StarTopology topo = BuildStar(net, 9, bench::CcTopo(cc.mode));
   for (int i = 0; i < 8; ++i) {
-    FlowSpec f;
-    f.flow_id = i;
-    f.src_host = topo.hosts[static_cast<size_t>(i)]->id();
-    f.dst_host = topo.hosts[8]->id();
-    f.size_bytes = 0;
-    f.mode = mode;
-    net.StartFlow(f);
+    bench::StartGreedyFlow(net, topo.hosts[static_cast<size_t>(i)],
+                           topo.hosts[8], i, cc);
   }
   QueueMonitor mon(&net.eq(), Microseconds(20), [&] {
     return topo.sw->EgressQueueBytes(8, kDataPriority);
   });
   mon.Start();
   net.RunFor(Milliseconds(10));
-  Bytes before = 0;
-  for (int i = 0; i < 8; ++i) {
-    before += topo.hosts[8]->ReceiverDeliveredBytes(i);
-  }
+  const Bytes before = bench::DeliveredSum(topo.hosts[8], 8);
   net.RunFor(Milliseconds(20));
-  Bytes after = 0;
-  for (int i = 0; i < 8; ++i) {
-    after += topo.hosts[8]->ReceiverDeliveredBytes(i);
-  }
+  const Bytes after = bench::DeliveredSum(topo.hosts[8], 8);
   const Cdf q = mon.ToCdf(Milliseconds(10));
   std::printf("  %-7s queue p50 %7.1f KB  p90 %7.1f KB   total %6.2f "
               "Gbps\n",
               label, q.Quantile(0.5) / 1e3, q.Quantile(0.9) / 1e3,
-              static_cast<double>(after - before) * 8 / 20e-3 / 1e9);
+              bench::WindowGbps(after - before, Milliseconds(20)));
 }
 
-void ReversePathSensitivity(TransportMode mode, const char* label) {
+void ReversePathSensitivity(const runner::CcSelection& cc,
+                            const char* label) {
   // Forward flow H0 -> H2; reverse congestion: H2 and H1 blast toward H0 so
   // the forward flow's ACKs queue behind data at the switch egress to H0.
-  TopologyOptions opt;
-  if (mode == TransportMode::kTimely) opt.switch_config.red.enabled = false;
   Network net(10);
-  StarTopology topo = BuildStar(net, 3, opt);
-  FlowSpec fwd;
-  fwd.flow_id = 0;
-  fwd.src_host = topo.hosts[0]->id();
-  fwd.dst_host = topo.hosts[2]->id();
-  fwd.size_bytes = 0;
-  fwd.mode = mode;
-  net.StartFlow(fwd);
+  StarTopology topo = BuildStar(net, 3, bench::CcTopo(cc.mode));
+  bench::StartGreedyFlow(net, topo.hosts[0], topo.hosts[2], 0, cc);
   net.RunFor(Milliseconds(10));
   const Bytes calm0 = topo.hosts[2]->ReceiverDeliveredBytes(0);
   net.RunFor(Milliseconds(10));
-  const double calm = static_cast<double>(
-      topo.hosts[2]->ReceiverDeliveredBytes(0) - calm0) * 8 / 10e-3 / 1e9;
+  const double calm = bench::WindowGbps(
+      topo.hosts[2]->ReceiverDeliveredBytes(0) - calm0, Milliseconds(10));
 
   // Ignite reverse-path congestion (raw senders, they do not yield).
+  const runner::CcSelection raw{TransportMode::kRdmaRaw, -1};
   for (int i = 1; i <= 2; ++i) {
-    FlowSpec r;
-    r.flow_id = i;
-    r.src_host = topo.hosts[static_cast<size_t>(i)]->id();
-    r.dst_host = topo.hosts[0]->id();
-    r.size_bytes = 0;
-    r.mode = TransportMode::kRdmaRaw;
-    r.start_time = net.eq().Now();
-    net.StartFlow(r);
+    bench::StartGreedyFlow(net, topo.hosts[static_cast<size_t>(i)],
+                           topo.hosts[0], i, raw, net.eq().Now());
   }
   net.RunFor(Milliseconds(10));
   const Bytes busy0 = topo.hosts[2]->ReceiverDeliveredBytes(0);
   net.RunFor(Milliseconds(10));
-  const double busy = static_cast<double>(
-      topo.hosts[2]->ReceiverDeliveredBytes(0) - busy0) * 8 / 10e-3 / 1e9;
+  const double busy = bench::WindowGbps(
+      topo.hosts[2]->ReceiverDeliveredBytes(0) - busy0, Milliseconds(10));
   std::printf("  %-7s forward rate %6.2f -> %6.2f Gbps under reverse "
               "congestion (%.0f%% kept)\n",
               label, calm, busy, 100.0 * busy / calm);
@@ -94,15 +75,25 @@ void ReversePathSensitivity(TransportMode mode, const char* label) {
 
 }  // namespace
 
-int main() {
-  std::printf("Extension: DCQCN vs TIMELY\n\n");
+int main(int argc, char** argv) {
+  const runner::CliOptions cli = runner::ParseCli(argc, argv);
+  if (!cli.ok) {
+    std::fprintf(stderr, "%s\n", cli.error.c_str());
+    return 1;
+  }
+  const runner::CcSelection champion{TransportMode::kRdmaDcqcn, -1};
+  const runner::CcSelection challenger =
+      runner::ResolveCc(cli.cc, TransportMode::kTimely);
+  const std::string label = cli.cc.empty() ? "TIMELY" : cli.cc;
+
+  std::printf("Extension: DCQCN vs %s\n\n", label.c_str());
   std::printf("(a) 8:1 incast, single switch:\n");
-  Incast(TransportMode::kRdmaDcqcn, "DCQCN");
-  Incast(TransportMode::kTimely, "TIMELY");
+  Incast(champion, "DCQCN");
+  Incast(challenger, label.c_str());
 
   std::printf("\n(b) reverse-path congestion sensitivity (§3.3's claim):\n");
-  ReversePathSensitivity(TransportMode::kRdmaDcqcn, "DCQCN");
-  ReversePathSensitivity(TransportMode::kTimely, "TIMELY");
+  ReversePathSensitivity(champion, "DCQCN");
+  ReversePathSensitivity(challenger, label.c_str());
 
   std::printf(
       "\nexpected: both control the incast, with different queue operating "

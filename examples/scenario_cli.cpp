@@ -4,7 +4,9 @@
 //   scenario_cli [options]
 //     --topo=star|clos          (default clos)
 //     --hosts=N                 hosts (star) or hosts-per-ToR (clos), def 5
-//     --mode=raw|dcqcn|dctcp    transport (default dcqcn)
+//     --cc=POLICY               congestion control: any registered CcPolicy
+//                               name (raw|dcqcn|dctcp|qcn|timely|...),
+//                               default dcqcn. --mode= is a legacy alias.
 //     --incast=K                disk-rebuild incast degree (default 8)
 //     --pairs=P                 closed-loop user pairs (default 12)
 //     --poisson=GBPS            extra open-loop Poisson load (default 0)
@@ -67,6 +69,8 @@ bool Parse(int argc, char** argv, Args* a) {
     } else if (const char* v = val("--hosts=")) {
       a->hosts = std::atoi(v);
     } else if (const char* v = val("--mode=")) {
+      a->mode = v;  // legacy alias for --cc
+    } else if (const char* v = val("--cc=")) {
       a->mode = v;
     } else if (const char* v = val("--incast=")) {
       a->incast = std::atoi(v);
@@ -94,12 +98,6 @@ bool Parse(int argc, char** argv, Args* a) {
   return true;
 }
 
-TransportMode ModeOf(const std::string& s) {
-  if (s == "raw") return TransportMode::kRdmaRaw;
-  if (s == "dctcp") return TransportMode::kDctcp;
-  return TransportMode::kRdmaDcqcn;
-}
-
 void PrintCdf(const char* label, const Cdf& c) {
   if (c.empty()) {
     std::printf("  %-18s (no samples)\n", label);
@@ -116,11 +114,27 @@ int main(int argc, char** argv) {
   Args args;
   if (!Parse(argc, argv, &args)) return 1;
 
+  // Factory lookup: --cc / --mode name the CcPolicy; its registration also
+  // fixes the wire behavior (TransportMode) its flows ride on.
+  const int16_t cc_policy = CcPolicyIdByName(args.mode);
+  if (cc_policy < 0) {
+    std::string names;
+    for (const std::string& n : CcPolicyNames()) {
+      if (!names.empty()) names += ", ";
+      names += n;
+    }
+    std::fprintf(stderr, "unknown --cc policy '%s' (registered: %s)\n",
+                 args.mode.c_str(), names.c_str());
+    return 1;
+  }
+  const TransportMode cc_mode = CcPolicyInfoById(cc_policy).mode;
+
   Network net(args.seed);
   // A deep ring (1M records, ~40 MB) so multi-ms runs keep their rare
   // events (fault markers, early PAUSE edges) alongside the dense ones.
   if (!args.trace_path.empty()) net.EnableTracing(size_t{1} << 20);
   TopologyOptions opt;
+  cc::ApplyCcSwitchDefaults(cc_mode, &opt.switch_config);
   opt.switch_config.pfc_enabled = args.pfc;
   if (!args.pfc) opt.switch_config.lossy_egress_cap = 1 * kMiB;
   if (args.storm_host >= 0) {
@@ -148,7 +162,8 @@ int main(int argc, char** argv) {
   bopt.num_pairs = args.pairs;
   bopt.incast_degree =
       std::min<int>(args.incast, static_cast<int>(hosts.size()) - 1);
-  bopt.mode = ModeOf(args.mode);
+  bopt.mode = cc_mode;
+  bopt.cc_policy = cc_policy;
   bopt.seed = args.seed;
   BenchmarkTraffic traffic(net, hosts, bopt);
   traffic.Begin();
@@ -157,7 +172,8 @@ int main(int argc, char** argv) {
   if (args.poisson_gbps > 0) {
     PoissonArrivalOptions popt;
     popt.offered_load = Gbps(args.poisson_gbps);
-    popt.mode = ModeOf(args.mode);
+    popt.mode = cc_mode;
+    popt.cc_policy = cc_policy;
     popt.seed = args.seed + 1;
     poisson = std::make_unique<PoissonArrivals>(net, hosts, popt);
     poisson->Begin();

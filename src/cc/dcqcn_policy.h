@@ -1,0 +1,74 @@
+// DCQCN reaction point as a CcPolicy: wraps RpState (Fig. 7 / Eq. 1-4) and
+// reproduces the pre-refactor SenderQp driving logic exactly — trace points,
+// timer re-arms, and the release path included.
+#pragma once
+
+#include "cc/cc_policy.h"
+
+namespace dcqcn {
+
+class DcqcnPolicy : public CcPolicy {
+ public:
+  DcqcnPolicy(const NicConfig& config, Rate line_rate)
+      : params_(config.params), line_rate_(line_rate),
+        rp_(config.params, line_rate) {}
+
+  const char* name() const override { return "dcqcn"; }
+  Rate CurrentRate() const override {
+    return rp_.limiting() ? rp_.current_rate() : line_rate_;
+  }
+  Rate MinRate() const override { return params_.min_rate; }
+  const RpState* rp() const override { return &rp_; }
+
+  void OnCnp(CcHost& host) override {
+    rp_.OnCnp();
+    host.TraceCcRate(rp_.current_rate());
+    host.TraceCcAlpha(rp_.alpha());
+    // Fig. 7: Reset(Timer, ByteCounter, T, BC, AlphaTimer) — re-arm both
+    // timers from now.
+    host.ArmCcTimer(CcTimerKind::kAlpha, params_.alpha_timer);
+    host.ArmCcTimer(CcTimerKind::kRate, params_.rate_increase_timer);
+  }
+
+  void OnBytesSent(CcHost& host, Bytes bytes) override {
+    const bool was_limiting = rp_.limiting();
+    const Rate rate_before = rp_.current_rate();
+    const int expirations = rp_.OnBytesSent(bytes);
+    if (was_limiting && !rp_.limiting()) {
+      // Recovered to line rate: the limiter released; stop the timers.
+      host.CancelCcTimer(CcTimerKind::kAlpha);
+      host.CancelCcTimer(CcTimerKind::kRate);
+    }
+    // A byte-counter expiration runs an increase iteration — the
+    // rate-change path the timers don't see.
+    if (expirations > 0 && rp_.current_rate() != rate_before) {
+      host.TraceCcRate(rp_.current_rate());
+    }
+  }
+
+  void OnTimer(CcHost& host, CcTimerKind kind) override {
+    if (!rp_.limiting()) return;
+    if (kind == CcTimerKind::kAlpha) {
+      rp_.OnAlphaTimer();
+      host.TraceCcAlpha(rp_.alpha());
+      host.ArmCcTimer(CcTimerKind::kAlpha, params_.alpha_timer);
+      return;
+    }
+    rp_.OnRateTimer();
+    host.TraceCcRate(rp_.current_rate());
+    if (!rp_.limiting()) {
+      // Recovered to line rate: Fig. 7's transition out of rate limiting
+      // also retires the alpha timer.
+      host.CancelCcTimer(CcTimerKind::kAlpha);
+      return;
+    }
+    host.ArmCcTimer(CcTimerKind::kRate, params_.rate_increase_timer);
+  }
+
+ protected:
+  const DcqcnParams params_;
+  const Rate line_rate_;
+  RpState rp_;
+};
+
+}  // namespace dcqcn

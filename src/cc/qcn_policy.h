@@ -1,0 +1,33 @@
+// QCN (802.1Qau) reaction point as a CcPolicy. Shares DCQCN's increase
+// machinery (byte counter + timer, fast recovery / additive increase via
+// RpState) but cuts multiplicatively by Gd * Fbq / quant_levels on switch
+// feedback instead of alpha/2 on CNPs — see core/qcn.h for the CP side.
+#pragma once
+
+#include <algorithm>
+
+#include "cc/dcqcn_policy.h"
+
+namespace dcqcn {
+
+class QcnPolicy : public DcqcnPolicy {
+ public:
+  QcnPolicy(const NicConfig& config, Rate line_rate)
+      : DcqcnPolicy(config, line_rate), qcn_(config.qcn) {}
+
+  const char* name() const override { return "qcn"; }
+
+  void OnQcnFeedback(CcHost& host, int fbq) override {
+    const double cut =
+        std::clamp(qcn_.gd * static_cast<double>(fbq) / qcn_.quant_levels,
+                   1e-6, 0.5);
+    rp_.OnQcnFeedback(cut);
+    host.TraceCcRate(rp_.current_rate());
+    host.ArmCcTimer(CcTimerKind::kRate, params_.rate_increase_timer);
+  }
+
+ private:
+  const QcnParams qcn_;
+};
+
+}  // namespace dcqcn

@@ -1,0 +1,24 @@
+// No congestion control: line rate, always. The kRdmaRaw baseline (PFC-only
+// fabric, Fig. 1/3) and the null object every signal defaults through.
+#pragma once
+
+#include "cc/cc_policy.h"
+
+namespace dcqcn {
+
+class RawPolicy : public CcPolicy {
+ public:
+  RawPolicy(const NicConfig& config, Rate line_rate)
+      : line_rate_(line_rate) {
+    (void)config;
+  }
+
+  const char* name() const override { return "raw"; }
+  Rate CurrentRate() const override { return line_rate_; }
+  Rate MinRate() const override { return line_rate_; }
+
+ private:
+  const Rate line_rate_;
+};
+
+}  // namespace dcqcn

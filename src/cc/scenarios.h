@@ -1,0 +1,54 @@
+// Differential conformance scenarios for congestion-control policies.
+//
+// Each scenario is a small, fully deterministic simulation whose observable
+// behaviour is folded into a textual trace: per-flow rate / delivered-bytes /
+// counter samples at fixed instants, plus final switch counters and
+// completion records. Two builds that produce byte-identical traces for
+// every (scenario, policy) pair are behaviourally equivalent on the paths
+// that matter — the trace covers the RP/NP state machines, pacing, window
+// management, PFC interaction, and the completion path.
+//
+// The harness exists so the CcPolicy refactor (and any future policy or
+// hot-path change) can be checked against pre-change behaviour exactly:
+// tests/cc_differential_test.cc pins the fingerprint of every pair, and
+// bench/regen_cc_goldens prints current values for re-pinning after an
+// *intended* behaviour change (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/switch.h"
+
+namespace dcqcn {
+namespace cc {
+
+// The four pinned scenarios: "fig08" (parking-lot fairness), "fig09"
+// (Clos victim flow), "victim" (star victim behind an incast), "incast"
+// (8:1 single-switch incast).
+std::vector<std::string> ConformanceScenarios();
+
+// Switch-side defaults a policy's experiments assume: QCN needs the switch
+// congestion point enabled and RED/ECN off; TIMELY runs without RED marking
+// (its signal is delay). DCQCN/DCTCP/raw keep the deployment RED curve.
+// Exactly the per-mode tweaks bench/ext_qcn_comparison and
+// bench/ext_timely_comparison apply.
+void ApplyCcSwitchDefaults(TransportMode mode, SwitchConfig* cfg);
+
+// Runs `scenario` with every flow under `mode` at `seed`; returns the full
+// textual trace. Aborts on an unknown scenario name. `cc_policy` selects a
+// registered CcPolicy id for every flow (-1 = the default policy for
+// `mode`, which leaves the pinned traces untouched) — the conformance suite
+// uses it to push *every* registered policy, including test-registered
+// ones, through the same scenarios.
+std::string RunScenarioTrace(const std::string& scenario, TransportMode mode,
+                             uint64_t seed, int16_t cc_policy = -1);
+
+// FNV-1a 64-bit fingerprint of a trace (what the differential test pins;
+// the full trace is printed on mismatch for diffing).
+uint64_t TraceFingerprint(const std::string& trace);
+
+}  // namespace cc
+}  // namespace dcqcn

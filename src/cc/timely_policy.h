@@ -1,0 +1,32 @@
+// TIMELY as a CcPolicy: pure RTT-gradient rate control (core/timely.h).
+// Reacts only to RTT samples; ECN marks, CNPs, and QCN feedback are ignored
+// (its deployments run with marking disabled — ApplyCcSwitchDefaults turns
+// RED off for kTimely).
+#pragma once
+
+#include "cc/cc_policy.h"
+
+namespace dcqcn {
+
+class TimelyPolicy : public CcPolicy {
+ public:
+  TimelyPolicy(const NicConfig& config, Rate line_rate)
+      : min_rate_(config.timely.min_rate),
+        timely_(config.timely, line_rate) {}
+
+  const char* name() const override { return "timely"; }
+  Rate CurrentRate() const override { return timely_.rate(); }
+  Rate MinRate() const override { return min_rate_; }
+  const TimelyState* timely() const override { return &timely_; }
+
+  void OnRttSample(CcHost& host, Time rtt) override {
+    (void)host;
+    timely_.OnRttSample(rtt);
+  }
+
+ private:
+  const Rate min_rate_;
+  TimelyState timely_;
+};
+
+}  // namespace dcqcn

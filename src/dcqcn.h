@@ -8,6 +8,8 @@
 // remain includable on their own for faster builds.
 #pragma once
 
+#include "cc/cc_policy.h"
+#include "cc/scenarios.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/units.h"

@@ -18,6 +18,10 @@ struct FlowSpec {
   Bytes size_bytes = 0;
   Time start_time = 0;
   TransportMode mode = TransportMode::kRdmaDcqcn;
+  // Congestion-control policy id (CcPolicyIdByName); -1 selects the default
+  // policy for `mode`. Lets a flow run a registered non-default policy over
+  // the same wire behavior.
+  int16_t cc_policy = -1;
   // Salt mixed into the flow's ECMP key. Benches vary this per run to model
   // "depending on how ECMP maps the flows" (§2.2).
   uint64_t ecmp_salt = 0;

@@ -156,11 +156,7 @@ void RdmaNic::ServiceQpTimers() {
   while (!qp_timer_heap_.empty() && qp_timer_heap_[0].deadline <= now) {
     QpTimerNode* node = qp_timer_heap_[0].node;
     CancelQpTimer(node);  // pop before dispatch; the QP may re-arm inside
-    if (node->kind == 0) {
-      node->qp->ServiceAlphaTimer();
-    } else {
-      node->qp->ServiceRateTimer();
-    }
+    node->qp->ServiceCcTimer(static_cast<CcTimerKind>(node->kind));
   }
   ScheduleQpTick();
 }

@@ -12,9 +12,6 @@ SenderQp::SenderQp(EventQueue* eq, RdmaNic* nic, FlowSpec spec,
     : eq_(eq),
       nic_(nic),
       spec_(spec),
-      params_(config.params),
-      dctcp_(config.dctcp),
-      qcn_(config.qcn),
       line_rate_(line_rate),
       rto_(config.rto),
       timer_jitter_(config.timer_jitter),
@@ -24,17 +21,13 @@ SenderQp::SenderQp(EventQueue* eq, RdmaNic* nic, FlowSpec spec,
       go_back_zero_(config.go_back_zero) {
   DCQCN_CHECK(line_rate_ > 0);
   alpha_node_.qp = this;
-  alpha_node_.kind = 0;
+  alpha_node_.kind = static_cast<uint8_t>(CcTimerKind::kAlpha);
   rate_node_.qp = this;
-  rate_node_.kind = 1;
-  if (spec_.mode == TransportMode::kRdmaDcqcn ||
-      spec_.mode == TransportMode::kQcn) {
-    rp_ = std::make_unique<RpState>(params_, line_rate_);
-  } else if (spec_.mode == TransportMode::kDctcp) {
-    cwnd_ = dctcp_.init_cwnd;
-  } else if (spec_.mode == TransportMode::kTimely) {
-    timely_ = std::make_unique<TimelyState>(config.timely, line_rate_);
-  }
+  rate_node_.kind = static_cast<uint8_t>(CcTimerKind::kRate);
+  const int16_t policy_id = spec_.cc_policy >= 0
+                                ? spec_.cc_policy
+                                : DefaultCcPolicyId(spec_.mode);
+  cc_ = CreateCcPolicy(policy_id, config, line_rate_);
   if (unbounded_) {
     // One endless message.
     messages_.push_back(Message{0, std::numeric_limits<uint64_t>::max(), 0,
@@ -68,12 +61,6 @@ void SenderQp::EnqueueMessage(Bytes bytes) {
   if (started_) nic_->OnQpActivated(this);
 }
 
-Rate SenderQp::current_rate() const {
-  if (rp_ && rp_->limiting()) return rp_->current_rate();
-  if (timely_) return timely_->rate();
-  return line_rate_;
-}
-
 void SenderQp::Start() {
   DCQCN_CHECK(!started_);
   started_ = true;
@@ -82,10 +69,10 @@ void SenderQp::Start() {
 }
 
 bool SenderQp::WindowAllows() const {
-  if (spec_.mode != TransportMode::kDctcp) return true;
+  if (!cc_->window_based()) return true;
   const Bytes in_flight =
       static_cast<Bytes>(snd_next_ - snd_una_) * kMtu;
-  return in_flight + kMtu <= cwnd_;
+  return in_flight + kMtu <= cc_->Cwnd();
 }
 
 bool SenderQp::HasPacketReady() const {
@@ -129,8 +116,7 @@ Packet SenderQp::BuildNextPacket() const {
   // receiver to rewind, so the whole message is re-delivered even when some
   // of the retransmissions are lost too.
   p.message_restart = go_back_zero_ && !unbounded_ &&
-                      spec_.mode != TransportMode::kDctcp &&
-                      snd_next_ < snd_high_;
+                      !cc_->window_based() && snd_next_ < snd_high_;
   p.transport = spec_.mode;
   p.tx_timestamp = eq_->Now();
   p.ecmp_key = FlowEcmpKey(spec_.flow_id, spec_.ecmp_salt);
@@ -144,32 +130,18 @@ void SenderQp::OnPacketSent(Time now, const Packet& p) {
   counters_.packets_sent++;
   counters_.bytes_sent += p.size_bytes;
 
-  if (spec_.mode != TransportMode::kDctcp) {
+  if (!cc_->window_based()) {
     // Pacing: the next packet may start one ideal inter-packet gap after
     // this one at the current rate (jittered like a hardware rate limiter's
     // quantization). At line rate the gap equals the wire serialization
     // time, i.e. back-to-back transmission.
     next_allowed_ =
         std::max(now, next_allowed_) +
-        Jittered(TransmissionTime(p.size_bytes, current_rate()),
+        Jittered(TransmissionTime(p.size_bytes, cc_->CurrentRate()),
                  pacing_jitter_);
   }
 
-  if (rp_) {
-    const bool was_limiting = rp_->limiting();
-    const Rate rate_before = rp_->current_rate();
-    const int expirations = rp_->OnBytesSent(p.size_bytes);
-    if (was_limiting && !rp_->limiting()) {
-      // Recovered to line rate: the limiter released; stop the timers.
-      nic_->CancelQpTimer(&alpha_node_);
-      nic_->CancelQpTimer(&rate_node_);
-    }
-    // A byte-counter expiration runs an increase iteration — the rate-change
-    // path the timers don't see.
-    if (tracer_ && expirations > 0 && rp_->current_rate() != rate_before) {
-      TraceRate();
-    }
-  }
+  cc_->OnBytesSent(*this, p.size_bytes);
 
   if (!retx_timer_.valid() || snd_una_ == p.seq) ArmRetxTimer(now);
 }
@@ -194,8 +166,8 @@ void SenderQp::OnRetxTimeout() {
 
 void SenderQp::RewindForLoss(Time now) {
   uint64_t target = snd_una_;
-  if (go_back_zero_ && spec_.mode != TransportMode::kDctcp &&
-      !messages_.empty() && !unbounded_) {
+  if (go_back_zero_ && !cc_->window_based() && !messages_.empty() &&
+      !unbounded_) {
     // ConnectX-3-style go-back-0: the whole in-progress message restarts.
     target = std::min(target, messages_.front().begin_seq);
   }
@@ -208,20 +180,20 @@ void SenderQp::RewindForLoss(Time now) {
 
 void SenderQp::OnAck(Time now, uint64_t cumulative_seq, bool ecn_echo,
                      Time echo_timestamp) {
-  if (timely_ && echo_timestamp > 0 && now > echo_timestamp) {
-    timely_->OnRttSample(now - echo_timestamp);
+  if (echo_timestamp > 0 && now > echo_timestamp) {
+    cc_->OnRttSample(*this, now - echo_timestamp);
   }
   if (cumulative_seq > snd_una_) {
     const Bytes acked =
         static_cast<Bytes>(cumulative_seq - snd_una_) * kMtu;
     snd_una_ = std::min<uint64_t>(cumulative_seq, snd_next_);
-    if (spec_.mode == TransportMode::kDctcp) DctcpOnAck(acked, ecn_echo);
+    cc_->OnAck(*this, CcAckSignal{acked, ecn_echo, snd_una_, snd_next_});
     ArmRetxTimer(now);
     CompleteMessages(now);
-    nic_->OnQpActivated(this);  // DCTCP window / message queue advanced
-  } else if (spec_.mode == TransportMode::kDctcp) {
+    nic_->OnQpActivated(this);  // CC window / message queue advanced
+  } else {
     // Duplicate cumulative ACK still carries an ECN echo sample.
-    DctcpOnAck(0, ecn_echo);
+    cc_->OnAck(*this, CcAckSignal{0, ecn_echo, snd_una_, snd_next_});
   }
 }
 
@@ -255,8 +227,7 @@ void SenderQp::OnNak(Time now, uint64_t expected_seq) {
   // ...and signals a loss: rewind (go-back-N to the gap, or restart the
   // whole message on go-back-0 hardware).
   if (expected_seq < snd_next_) {
-    if (!go_back_zero_ || spec_.mode == TransportMode::kDctcp ||
-        unbounded_) {
+    if (!go_back_zero_ || cc_->window_based() || unbounded_) {
       counters_.retransmitted_packets +=
           static_cast<int64_t>(snd_next_ - expected_seq);
       snd_next_ = expected_seq;
@@ -276,122 +247,49 @@ void SenderQp::OnCnp(Time now) {
     tracer_->Record(now, telemetry::TraceEventType::kCnpRx, spec_.src_host,
                     /*port=*/0, spec_.priority, spec_.flow_id, 0);
   }
-  if (!rp_) return;
-  rp_->OnCnp();
-  if (tracer_) {
-    TraceRate();
-    TraceAlpha();
-  }
-  // Fig. 7: Reset(Timer, ByteCounter, T, BC, AlphaTimer) — re-arm both
-  // timers from now.
-  ArmAlphaTimer();
-  ArmRateTimer();
+  cc_->OnCnp(*this);
+}
+
+void SenderQp::OnQcnFeedback(Time now, int fbq) {
+  counters_.cnps_received++;  // congestion notifications, QCN flavor
+  cc_->OnQcnFeedback(*this, fbq);
   (void)now;
 }
 
-void SenderQp::TraceRate() {
-  if (!tracer_ || !rp_) return;
-  tracer_->Record(eq_->Now(), telemetry::TraceEventType::kRateUpdate,
-                  spec_.src_host, /*port=*/0, spec_.priority, spec_.flow_id,
-                  0, ToGbps(rp_->current_rate()));
+Time SenderQp::CcNow() const { return eq_->Now(); }
+
+void SenderQp::ArmCcTimer(CcTimerKind kind, Time base_period) {
+  QpTimerNode* node =
+      kind == CcTimerKind::kAlpha ? &alpha_node_ : &rate_node_;
+  // The jitter draw happens at arm time (as it did when this scheduled an
+  // event directly), so replayed runs see identical per-QP RNG streams.
+  nic_->ArmQpTimer(node,
+                   eq_->Now() + Jittered(base_period, timer_jitter_));
 }
 
-void SenderQp::TraceAlpha() {
-  if (!tracer_ || !rp_) return;
+void SenderQp::CancelCcTimer(CcTimerKind kind) {
+  nic_->CancelQpTimer(kind == CcTimerKind::kAlpha ? &alpha_node_
+                                                  : &rate_node_);
+}
+
+void SenderQp::TraceCcRate(Rate rate) {
+  if (!tracer_) return;
+  tracer_->Record(eq_->Now(), telemetry::TraceEventType::kRateUpdate,
+                  spec_.src_host, /*port=*/0, spec_.priority, spec_.flow_id,
+                  0, ToGbps(rate));
+}
+
+void SenderQp::TraceCcAlpha(double alpha) {
+  if (!tracer_) return;
   tracer_->Record(eq_->Now(), telemetry::TraceEventType::kAlphaUpdate,
                   spec_.src_host, /*port=*/0, spec_.priority, spec_.flow_id,
-                  0, rp_->alpha());
+                  0, alpha);
 }
 
 Time SenderQp::Jittered(Time base, double frac) {
   if (frac <= 0) return base;
   const double factor = 1.0 + frac * (2.0 * rng_.Uniform() - 1.0);
   return static_cast<Time>(static_cast<double>(base) * factor);
-}
-
-void SenderQp::OnQcnFeedback(Time now, int fbq) {
-  counters_.cnps_received++;  // congestion notifications, QCN flavor
-  if (!rp_ || spec_.mode != TransportMode::kQcn) return;
-  const QcnParams& q = qcn_;
-  const double cut =
-      std::clamp(q.gd * static_cast<double>(fbq) / q.quant_levels, 1e-6,
-                 0.5);
-  rp_->OnQcnFeedback(cut);
-  if (tracer_) TraceRate();
-  ArmRateTimer();
-  (void)now;
-}
-
-void SenderQp::ArmAlphaTimer() {
-  // The jitter draw happens at arm time (as it did when this scheduled an
-  // event directly), so replayed runs see identical per-QP RNG streams.
-  nic_->ArmQpTimer(&alpha_node_,
-                   eq_->Now() + Jittered(params_.alpha_timer, timer_jitter_));
-}
-
-void SenderQp::ArmRateTimer() {
-  nic_->ArmQpTimer(
-      &rate_node_,
-      eq_->Now() + Jittered(params_.rate_increase_timer, timer_jitter_));
-}
-
-void SenderQp::ServiceAlphaTimer() {
-  if (!rp_ || !rp_->limiting()) return;
-  rp_->OnAlphaTimer();
-  if (tracer_) TraceAlpha();
-  ArmAlphaTimer();
-}
-
-void SenderQp::ServiceRateTimer() {
-  if (!rp_ || !rp_->limiting()) return;
-  const bool was_limiting = rp_->limiting();
-  rp_->OnRateTimer();
-  if (tracer_) TraceRate();
-  if (was_limiting && !rp_->limiting()) {
-    // Recovered to line rate: Fig. 7's transition out of rate limiting also
-    // retires the alpha timer.
-    nic_->CancelQpTimer(&alpha_node_);
-    return;
-  }
-  ArmRateTimer();
-}
-
-void SenderQp::DctcpOnAck(Bytes acked_bytes, bool ecn_echo) {
-  window_acked_ += std::max<Bytes>(acked_bytes, kMtu);
-  if (ecn_echo) {
-    window_marked_ += std::max<Bytes>(acked_bytes, kMtu);
-    in_slow_start_ = false;
-  }
-
-  // Window growth: slow start doubles per RTT; congestion avoidance adds
-  // one MSS per window of acknowledged bytes.
-  if (in_slow_start_) {
-    cwnd_ += acked_bytes;
-  } else {
-    ca_byte_accum_ += acked_bytes;
-    if (ca_byte_accum_ >= cwnd_) {
-      ca_byte_accum_ -= cwnd_;
-      cwnd_ += kMtu;
-    }
-  }
-
-  // Once per window: update the ECN fraction estimate and cut (DCTCP).
-  if (snd_una_ >= window_end_) {
-    const double f = window_acked_ > 0
-                         ? static_cast<double>(window_marked_) /
-                               static_cast<double>(window_acked_)
-                         : 0.0;
-    dctcp_alpha_ = (1.0 - dctcp_.g) * dctcp_alpha_ + dctcp_.g * f;
-    if (window_marked_ > 0) {
-      cwnd_ = std::max<Bytes>(
-          dctcp_.min_cwnd,
-          static_cast<Bytes>(static_cast<double>(cwnd_) *
-                             (1.0 - dctcp_alpha_ / 2.0)));
-    }
-    window_end_ = snd_next_;
-    window_acked_ = 0;
-    window_marked_ = 0;
-  }
 }
 
 }  // namespace dcqcn

@@ -1,32 +1,32 @@
 // Sender-side queue pair (QP): one per outgoing flow.
 //
-// Combines three concerns the NIC hardware combines:
+// Combines the concerns the NIC hardware combines:
 //   * reliable delivery  — RoCE-style go-back-N (cumulative ACKs, NAK on
 //     out-of-sequence at the receiver, retransmission timeout as backstop);
-//   * rate enforcement   — per-flow pacing at the RP's current rate for the
-//     RDMA modes ("The rate limiting is on a per-packet granularity", §3.3);
+//   * rate enforcement   — per-flow pacing at the policy's current rate for
+//     the rate-based modes ("The rate limiting is on a per-packet
+//     granularity", §3.3), or a byte-counted congestion window with bursty
+//     line-rate transmission for window-based policies (DCTCP, modeling the
+//     OS/NIC LSO interaction the paper blames for its deeper queues, §6.3);
 //     flows start at full line rate, no slow start;
-//   * DCQCN RP           — the per-flow state machine plus its two timers
-//     (alpha timer and rate-increase timer), armed only while the limiter is
-//     engaged. The timers are not individual event-queue events: the QP arms
-//     an embedded QpTimerNode on its NIC's per-NIC timer heap, and the NIC
-//     services every due QP from one batched tick event (see rdma_nic.h) —
-//     the way NIC firmware iterates its QP context table on a timer
-//     interrupt rather than keeping a hardware timer per QP;
-//   * DCTCP mode         — a byte-counted congestion window with per-ACK
-//     ECN-fraction estimation instead of pacing; transmission is bursty (the
-//     host pushes segments back-to-back at line rate while the window
-//     allows), modeling the OS/NIC LSO interaction the paper blames for
-//     DCTCP's deeper queues (§6.3).
+//   * congestion control — delegated to a pluggable CcPolicy (src/cc/): the
+//     QP translates wire events (CNPs, ACK echoes, RTT samples, QCN
+//     feedback, bytes sent, timer expiry) into the uniform CcPolicy signal
+//     set and enforces whatever rate/window the policy dictates. The QP
+//     implements CcHost: policies arm their timers through it, and the QP
+//     maps them onto embedded QpTimerNodes in its NIC's per-NIC timer heap,
+//     serviced from one batched tick event (see rdma_nic.h) — the way NIC
+//     firmware iterates its QP context table on a timer interrupt rather
+//     than keeping a hardware timer per QP.
 #pragma once
 
 #include <deque>
 #include <memory>
 #include <optional>
 
+#include "cc/cc_policy.h"
 #include "common/rng.h"
 #include "common/units.h"
-#include "core/params.h"
 #include "core/rp.h"
 #include "core/timely.h"
 #include "net/packet.h"
@@ -40,7 +40,7 @@ namespace dcqcn {
 class RdmaNic;
 class SenderQp;
 
-// One armed DCQCN timer (alpha or rate-increase) of one QP, filed in its
+// One armed CC timer (alpha or rate-increase) of one QP, filed in its
 // NIC's per-NIC timer heap. The node is owned by the QP (embedded, so arming
 // allocates nothing) and filed/removed only by the NIC; `heap_pos` is its
 // index in the NIC's heap for O(log n) arm and cancel. `arm_seq` is the
@@ -52,7 +52,7 @@ struct QpTimerNode {
   uint64_t arm_seq = 0;
   SenderQp* qp = nullptr;
   uint32_t heap_pos = ~0u;  // index in RdmaNic::qp_timer_heap_; ~0u = idle
-  uint8_t kind = 0;         // 0 = alpha timer, 1 = rate-increase timer
+  uint8_t kind = 0;         // CcTimerKind: 0 = alpha, 1 = rate-increase
   bool armed = false;
 };
 
@@ -65,11 +65,11 @@ struct QpCounters {
   int64_t cnps_received = 0;
 };
 
-class SenderQp {
+class SenderQp : public CcHost {
  public:
   SenderQp(EventQueue* eq, RdmaNic* nic, FlowSpec spec,
            const NicConfig& config, Rate line_rate);
-  ~SenderQp();
+  ~SenderQp() override;
 
   SenderQp(const SenderQp&) = delete;
   SenderQp& operator=(const SenderQp&) = delete;
@@ -88,11 +88,15 @@ class SenderQp {
   // Only valid for bounded flows (unbounded flows are a single endless
   // message).
   void EnqueueMessage(Bytes bytes);
-  Rate current_rate() const;
-  const RpState* rp() const { return rp_.get(); }
-  const TimelyState* timely() const { return timely_.get(); }
-  Bytes cwnd() const { return cwnd_; }
-  double dctcp_alpha() const { return dctcp_alpha_; }
+  Rate current_rate() const { return cc_->CurrentRate(); }
+  // Congestion-control facade: the policy and its introspection hooks.
+  // rp()/timely()/dctcp_alpha() return null/0 when the active policy does
+  // not expose that state.
+  const CcPolicy& cc() const { return *cc_; }
+  const RpState* rp() const { return cc_->rp(); }
+  const TimelyState* timely() const { return cc_->timely(); }
+  Bytes cwnd() const { return cc_->Cwnd(); }
+  double dctcp_alpha() const { return cc_->dctcp_alpha(); }
 
   // --- scheduling interface used by the NIC transmit scheduler ---
   void Start();                 // flow start time reached
@@ -112,22 +116,23 @@ class SenderQp {
   void OnCnp(Time now);
   void OnQcnFeedback(Time now, int fbq);
 
-  // --- batched DCQCN timer service (called by RdmaNic's per-NIC tick) ---
-  // Fig. 7 alpha-timer / rate-timer expirations, invoked when the embedded
-  // QpTimerNode's deadline is reached. Bodies are exactly the per-event
-  // callbacks they replaced: bail if the limiter released meanwhile, run the
-  // RP update, re-arm while still limiting.
-  void ServiceAlphaTimer();
-  void ServiceRateTimer();
+  // --- batched CC timer service (called by RdmaNic's per-NIC tick) ---
+  // Invoked when an embedded QpTimerNode's deadline is reached; forwards to
+  // the policy, which re-arms while its limiter is engaged.
+  void ServiceCcTimer(CcTimerKind kind) { cc_->OnTimer(*this, kind); }
 
-  // Structured event tracing (CNP receipt, RP rate/alpha updates); null
+  // --- CcHost (policy -> QP services) ---
+  Time CcNow() const override;
+  void ArmCcTimer(CcTimerKind kind, Time base_period) override;
+  void CancelCcTimer(CcTimerKind kind) override;
+  void TraceCcRate(Rate rate) override;
+  void TraceCcAlpha(double alpha) override;
+
+  // Structured event tracing (CNP receipt, CC rate/alpha updates); null
   // disables. Set by the owning NIC.
   void SetTracer(telemetry::EventTracer* tracer) { tracer_ = tracer; }
 
  private:
-  // Emits kRateUpdate / kAlphaUpdate records for the RP's current state.
-  void TraceRate();
-  void TraceAlpha();
   bool WindowAllows() const;
   Bytes PacketBytes(uint64_t seq) const;
   bool IsLastOfMessage(uint64_t seq) const;
@@ -136,11 +141,8 @@ class SenderQp {
   // Loss rewind: go-back-N to snd_una_, or (go-back-0 hardware) restart the
   // in-progress message from its first packet.
   void RewindForLoss(Time now);
-  void ArmAlphaTimer();
-  void ArmRateTimer();
   // Pops and reports every leading message fully covered by snd_una_.
   void CompleteMessages(Time now);
-  void DctcpOnAck(Bytes acked_bytes, bool ecn_echo);
 
   // Jittered interval: base * (1 +/- frac), drawn per use from this QP's
   // private RNG (seeded by flow id, so runs replay deterministically).
@@ -149,9 +151,6 @@ class SenderQp {
   EventQueue* eq_;
   RdmaNic* nic_;
   const FlowSpec spec_;
-  const DcqcnParams params_;
-  const DctcpConfig dctcp_;
-  const QcnParams qcn_;
   const Rate line_rate_;
   const Time rto_;
   const double timer_jitter_;
@@ -180,26 +179,15 @@ class SenderQp {
   const bool go_back_zero_;
   EventHandle retx_timer_;
 
-  // pacing (RDMA modes)
+  // pacing (rate-based policies)
   Time next_allowed_ = 0;
 
-  // DCQCN RP (kRdmaDcqcn / kQcn modes)
-  std::unique_ptr<RpState> rp_;
-  // TIMELY (kTimely mode)
-  std::unique_ptr<TimelyState> timely_;
+  // The congestion-control policy: owns all rate/window state.
+  std::unique_ptr<CcPolicy> cc_;
   // Embedded timer nodes for the NIC's batched per-NIC tick; armed via
   // nic_->ArmQpTimer, released via nic_->CancelQpTimer.
   QpTimerNode alpha_node_;
   QpTimerNode rate_node_;
-
-  // DCTCP (only in kDctcp mode)
-  Bytes cwnd_ = 0;
-  double dctcp_alpha_ = 0.0;
-  Bytes window_acked_ = 0;
-  Bytes window_marked_ = 0;
-  uint64_t window_end_ = 0;  // alpha update when snd_una passes this
-  bool in_slow_start_ = true;
-  Bytes ca_byte_accum_ = 0;
 
   QpCounters counters_;
   telemetry::EventTracer* tracer_ = nullptr;

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "cc/cc_policy.h"
 #include "common/check.h"
 #include "runner/serialize.h"
 
@@ -167,7 +168,7 @@ CliOptions ParseCli(int argc, char** argv) {
     cli.ok = false;
     cli.error = msg +
                 " (flags: --jobs N --seed S --json PATH --csv PATH"
-                " --trace PREFIX)";
+                " --trace PREFIX --cc POLICY)";
     return cli;
   };
 
@@ -206,11 +207,34 @@ CliOptions ParseCli(int argc, char** argv) {
     } else if (arg == "--trace") {
       if (!need_value()) return fail("--trace requires a path prefix");
       cli.trace_prefix = value;
+    } else if (arg == "--cc") {
+      if (!need_value()) return fail("--cc requires a policy name");
+      if (CcPolicyIdByName(value) < 0) {
+        std::string names;
+        for (const std::string& n : CcPolicyNames()) {
+          if (!names.empty()) names += ", ";
+          names += n;
+        }
+        return fail("unknown --cc policy '" + value + "' (registered: " +
+                    names + ")");
+      }
+      cli.cc = value;
     } else {
       return fail("unknown flag '" + arg + "'");
     }
   }
   return cli;
+}
+
+CcSelection ResolveCc(const std::string& cc_name,
+                      TransportMode default_mode) {
+  CcSelection sel;
+  sel.mode = default_mode;
+  if (cc_name.empty()) return sel;
+  sel.policy = CcPolicyIdByName(cc_name);
+  DCQCN_CHECK(sel.policy >= 0);  // ParseCli validated the name
+  sel.mode = CcPolicyInfoById(sel.policy).mode;
+  return sel;
 }
 
 bool WriteRequestedOutputs(const CliOptions& cli,

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "net/packet.h"
 #include "stats/stats.h"
 #include "telemetry/event_trace.h"
 #include "telemetry/metric_registry.h"
@@ -113,6 +114,10 @@ std::vector<TrialResult> RunTrials(const std::vector<TrialSpec>& matrix,
 //   --json PATH   write results as JSON (see serialize.h for the schema)
 //   --csv PATH    write scalar results as CSV
 //   --trace PREF  per-trial Chrome trace files PREF_<trial name>.json
+//   --cc POLICY   congestion-control policy (a registered CcPolicy name);
+//                 rejected with the registered names listed if unknown.
+//                 Empty = the bench's default. Benches apply it with
+//                 CcFromCli (below).
 // Both `--flag value` and `--flag=value` are accepted.
 struct CliOptions {
   int jobs = 1;
@@ -120,11 +125,21 @@ struct CliOptions {
   std::string json_path;      // empty = don't write
   std::string csv_path;       // empty = don't write
   std::string trace_prefix;   // empty = tracing off
+  std::string cc;             // empty = bench default policy
   bool ok = true;
   std::string error;  // set when !ok
 };
 
 CliOptions ParseCli(int argc, char** argv);
+
+// What --cc resolves to for a bench whose flows default to `default_mode`:
+// the policy id to stamp into FlowSpec::cc_policy and the transport mode its
+// wire behavior requires. An empty --cc keeps the bench default (policy -1).
+struct CcSelection {
+  TransportMode mode = TransportMode::kRdmaDcqcn;
+  int16_t policy = -1;
+};
+CcSelection ResolveCc(const std::string& cc_name, TransportMode default_mode);
 
 // "<prefix>_<name>.json" with filesystem-hostile characters in `name`
 // ('/', spaces, ':') folded to '_'. What benches assign to

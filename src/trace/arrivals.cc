@@ -58,6 +58,7 @@ void PoissonArrivals::LaunchOne() {
   f.size_bytes = sizes_.Sample(rng_);
   f.start_time = net_.eq().Now();
   f.mode = opts_.mode;
+  f.cc_policy = opts_.cc_policy;
   f.ecmp_salt = rng_.NextU64();
   ours_.insert(f.flow_id);
   ++started_;

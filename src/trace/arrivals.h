@@ -23,6 +23,8 @@ struct PoissonArrivalOptions {
   // load / mean_flow_size.
   Rate offered_load = Gbps(40);
   TransportMode mode = TransportMode::kRdmaDcqcn;
+  // CcPolicy id stamped on every generated flow (-1 = default for mode).
+  int16_t cc_policy = -1;
   double size_scale = 1.0;
   uint64_t seed = 1;
   // Optional cap on concurrently active generated flows (0 = unlimited);

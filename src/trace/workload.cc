@@ -59,6 +59,7 @@ void BenchmarkTraffic::Begin() {
     f.size_bytes = sizes_.Sample(rng_);
     f.start_time = net_.eq().Now();
     f.mode = opts_.mode;
+    f.cc_policy = opts_.cc_policy;
     f.ecmp_salt = rng_.NextU64();
     flow_ctx_[f.flow_id] = FlowCtx{/*incast=*/false, i};
     pr.qp = net_.StartFlow(f);
@@ -76,6 +77,7 @@ void BenchmarkTraffic::StartIncastChunk(size_t sender_idx) {
   f.size_bytes = opts_.incast_flow_bytes;
   f.start_time = net_.eq().Now();
   f.mode = opts_.mode;
+  f.cc_policy = opts_.cc_policy;
   f.ecmp_salt = rng_.NextU64();
   flow_ctx_[f.flow_id] = FlowCtx{/*incast=*/true, sender_idx};
   net_.StartFlow(f);

@@ -37,6 +37,8 @@ struct BenchmarkTrafficOptions {
   // without ever tripping PFC).
   Bytes incast_flow_bytes = 4000 * kKB;
   TransportMode mode = TransportMode::kRdmaDcqcn;
+  // CcPolicy id stamped on every generated flow (-1 = default for mode).
+  int16_t cc_policy = -1;
   // Transfer-size scale; < 1 shrinks the distribution so very short runs
   // complete many transfers (see DESIGN.md "Scaling note").
   double size_scale = 1.0;

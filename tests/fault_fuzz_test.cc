@@ -7,6 +7,7 @@
 //     drains back to a clean state (no stuck PAUSE, no leaked occupancy)
 #include <gtest/gtest.h>
 
+#include "cc/cc_policy.h"
 #include "fault/fault_injector.h"
 #include "net/topology.h"
 
@@ -71,19 +72,26 @@ TEST_P(FaultFuzz, RandomPlansNeverBreakInvariantsAndFlowsFinish) {
   StarTopology topo = BuildStar(net, kHosts, opt);
   Rng fuzz(seed * 0x9e3779b97f4a7c15ULL + 1);
 
-  // A few bounded flows between random distinct host pairs.
+  // A few bounded flows between random distinct host pairs, each under a
+  // random registered CcPolicy: the recovery guarantee must be
+  // policy-agnostic, and mixed policies sharing a fabric must not wedge
+  // each other's fault handling.
+  const std::vector<std::string> policies = CcPolicyNames();
   const int num_flows = static_cast<int>(fuzz.UniformInt(2, 4));
   int started = 0;
   for (int i = 0; i < num_flows; ++i) {
     const int a = static_cast<int>(fuzz.UniformInt(0, kHosts - 1));
     int b = static_cast<int>(fuzz.UniformInt(0, kHosts - 1));
     if (a == b) b = (b + 1) % kHosts;
+    const int16_t policy = CcPolicyIdByName(policies[static_cast<size_t>(
+        fuzz.UniformInt(0, static_cast<int64_t>(policies.size()) - 1))]);
     FlowSpec f;
     f.flow_id = net.NextFlowId();
     f.src_host = topo.hosts[static_cast<size_t>(a)]->id();
     f.dst_host = topo.hosts[static_cast<size_t>(b)]->id();
     f.size_bytes = fuzz.UniformInt(50, 300) * kKB;
-    f.mode = TransportMode::kRdmaDcqcn;
+    f.mode = CcPolicyInfoById(policy).mode;
+    f.cc_policy = policy;
     net.StartFlow(f);
     ++started;
   }

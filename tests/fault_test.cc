@@ -4,6 +4,8 @@
 // and the PauseStormDetector watchdog.
 #include <gtest/gtest.h>
 
+#include "cc/cc_policy.h"
+#include "cc/scenarios.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "fault/pause_storm_detector.h"
@@ -339,6 +341,83 @@ TEST(PauseStormDetector, StopHaltsSampling) {
   net.RunFor(Milliseconds(5));
   EXPECT_EQ(det.samples_taken(), samples);
 }
+
+// ---- Policy x fault matrix: every registered CcPolicy rides out faults ----
+//
+// The fault machinery must be policy-agnostic: whatever owns the rate or
+// window, a flow stalled by a PAUSE storm or a link flap completes once the
+// fault heals. Swept over the registry so a newly registered policy is
+// covered automatically.
+
+class CcPolicyFaults : public ::testing::TestWithParam<std::string> {
+ protected:
+  int16_t id() const { return CcPolicyIdByName(GetParam()); }
+  TransportMode mode() const { return CcPolicyInfoById(id()).mode; }
+  // Star fabric with the switch-side defaults the policy's deployment
+  // assumes (RED off for TIMELY, the QCN congestion point on for QCN).
+  StarTopology Build(Network& net, int hosts) const {
+    TopologyOptions opt;
+    cc::ApplyCcSwitchDefaults(mode(), &opt.switch_config);
+    return BuildStar(net, hosts, opt);
+  }
+  void Start(Network& net, RdmaNic* src, RdmaNic* dst, Bytes size) const {
+    FlowSpec f = Make(net, src, dst, size, mode());
+    f.cc_policy = id();
+    net.StartFlow(f);
+  }
+};
+
+TEST_P(CcPolicyFaults, FlowCompletesAfterPauseStormHeals) {
+  Network net(31);
+  StarTopology topo = Build(net, 3);
+  // The victim flow targets the babbler, so the storm pauses exactly the
+  // egress class the flow needs; clean of faults it would finish in ~60 us.
+  RdmaNic* babbler = topo.hosts[1];
+  Start(net, topo.hosts[0], babbler, 300 * kKB);
+
+  const Time storm_at = Microseconds(10);  // mid-transfer (clean FCT ~60 us)
+  const Time storm_for = Milliseconds(3);
+  FaultPlan plan;
+  plan.Add(PauseStorm(babbler->id(), kDataPriority, storm_at, storm_for));
+  FaultInjector inj(&net, plan, 8);
+  inj.Arm();
+
+  net.RunFor(Milliseconds(200));
+  EXPECT_EQ(inj.faults_healed(), 1);
+  const auto& done = net.host(topo.hosts[0]->id())->completed_flows();
+  ASSERT_EQ(done.size(), 1u) << GetParam() << " flow stuck after heal";
+  EXPECT_EQ(done[0].bytes, 300 * kKB);
+  // It really was held by the storm, not finished beforehand.
+  EXPECT_GT(done[0].fct(), storm_at + storm_for);
+  EXPECT_FALSE(topo.sw->TxPaused(1, kDataPriority));
+}
+
+TEST_P(CcPolicyFaults, FlowCompletesAfterLinkFlapHeals) {
+  Network net(32);
+  StarTopology topo = Build(net, 2);
+  const int dst = topo.hosts[1]->id();
+  Start(net, topo.hosts[0], topo.hosts[1], 200 * kKB);
+
+  FaultPlan plan;
+  plan.Add(LinkFlap(topo.sw->id(), dst, Microseconds(20), Milliseconds(1)));
+  FaultInjector inj(&net, plan, 9);
+  inj.Arm();
+
+  net.RunFor(Milliseconds(200));
+  Link* access = net.FindLink(topo.sw->id(), dst);
+  ASSERT_NE(access, nullptr);
+  EXPECT_TRUE(access->up());
+  const auto& done = net.host(topo.hosts[0]->id())->completed_flows();
+  ASSERT_EQ(done.size(), 1u) << GetParam() << " flow stuck after flap";
+  EXPECT_EQ(done[0].bytes, 200 * kKB);
+  EXPECT_GT(done[0].fct(), Milliseconds(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegistered, CcPolicyFaults, ::testing::ValuesIn(CcPolicyNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
 
 // ---- Injector bookkeeping ----
 

@@ -9,6 +9,7 @@
 // commit message — that is the point of the pin.
 #include <gtest/gtest.h>
 
+#include "cc/scenarios.h"
 #include "net/topology.h"
 
 namespace dcqcn {
@@ -20,18 +21,23 @@ struct GoldenRun {
   Rate rate_bps[2];
   int64_t cnps[2];
   int64_t pkts_sent[2];
+  Bytes cwnd[2];
+  double dctcp_alpha[2];
 };
 
-GoldenRun RunScenario(uint64_t seed) {
+GoldenRun RunScenario(uint64_t seed,
+                      TransportMode mode = TransportMode::kRdmaDcqcn) {
   Network net(seed);
-  StarTopology topo = BuildStar(net, 3, TopologyOptions{});
+  TopologyOptions opt;
+  cc::ApplyCcSwitchDefaults(mode, &opt.switch_config);
+  StarTopology topo = BuildStar(net, 3, opt);
   for (int i = 0; i < 2; ++i) {
     FlowSpec f;
     f.flow_id = i;
     f.src_host = topo.hosts[static_cast<size_t>(i)]->id();
     f.dst_host = topo.hosts[2]->id();
     f.size_bytes = 0;  // greedy
-    f.mode = TransportMode::kRdmaDcqcn;
+    f.mode = mode;
     net.StartFlow(f);
   }
   net.RunFor(Milliseconds(2));
@@ -44,6 +50,8 @@ GoldenRun RunScenario(uint64_t seed) {
     g.rate_bps[i] = qp->current_rate();
     g.cnps[i] = qp->counters().cnps_received;
     g.pkts_sent[i] = qp->counters().packets_sent;
+    g.cwnd[i] = qp->cwnd();
+    g.dctcp_alpha[i] = qp->dctcp_alpha();
   }
   return g;
 }
@@ -71,6 +79,79 @@ TEST(GoldenTrace, TwoFlowDcqcnIncastAtSeed42) {
   // pure floating-point arithmetic from pinned inputs.
   EXPECT_DOUBLE_EQ(g.rate_bps[0], 6119999999.7834673);
   EXPECT_DOUBLE_EQ(g.rate_bps[1], 11119999999.49243);
+}
+
+// Per-policy pins on the same 2-flow star: captured before the CcPolicy
+// refactor, these freeze each algorithm's state machine independently of
+// the differential fingerprints (which hash whole traces — these give a
+// readable first diff when something drifts).
+TEST(GoldenTrace, TwoFlowDctcpIncastAtSeed42) {
+  const GoldenRun g = RunScenario(42, TransportMode::kDctcp);
+
+  EXPECT_EQ(g.sw.rx_packets, 20113);
+  EXPECT_EQ(g.sw.tx_packets, 19973);
+  EXPECT_EQ(g.sw.dropped_packets, 0);
+  EXPECT_EQ(g.sw.ecn_marked_packets, 1935);
+  EXPECT_EQ(g.sw.qcn_feedback_sent, 0);
+
+  EXPECT_EQ(g.delivered[0], 4380000);
+  EXPECT_EQ(g.delivered[1], 5606000);
+  EXPECT_EQ(g.cnps[0], 0);  // DCTCP echoes marks in ACKs, never CNPs.
+  EXPECT_EQ(g.cnps[1], 0);
+  EXPECT_EQ(g.pkts_sent[0], 4460);
+  EXPECT_EQ(g.pkts_sent[1], 5678);
+
+  // Window-based: the rate limiter stays at line rate; cwnd and the DCTCP
+  // alpha EWMA carry the control state.
+  EXPECT_DOUBLE_EQ(g.rate_bps[0], 40000000000.0);
+  EXPECT_DOUBLE_EQ(g.rate_bps[1], 40000000000.0);
+  EXPECT_EQ(g.cwnd[0], 81652);
+  EXPECT_EQ(g.cwnd[1], 81849);
+  EXPECT_DOUBLE_EQ(g.dctcp_alpha[0], 0.014351005605689695);
+  EXPECT_DOUBLE_EQ(g.dctcp_alpha[1], 0.013673756934668621);
+}
+
+TEST(GoldenTrace, TwoFlowTimelyIncastAtSeed42) {
+  const GoldenRun g = RunScenario(42, TransportMode::kTimely);
+
+  // TIMELY runs with RED/ECN disabled — it reacts to RTT gradients only.
+  EXPECT_EQ(g.sw.rx_packets, 1119);
+  EXPECT_EQ(g.sw.tx_packets, 1119);
+  EXPECT_EQ(g.sw.dropped_packets, 0);
+  EXPECT_EQ(g.sw.ecn_marked_packets, 0);
+  EXPECT_EQ(g.sw.qcn_feedback_sent, 0);
+
+  EXPECT_EQ(g.delivered[0], 544000);
+  EXPECT_EQ(g.delivered[1], 541000);
+  EXPECT_EQ(g.cnps[0], 0);
+  EXPECT_EQ(g.cnps[1], 0);
+  EXPECT_EQ(g.pkts_sent[0], 545);
+  EXPECT_EQ(g.pkts_sent[1], 541);
+
+  EXPECT_DOUBLE_EQ(g.rate_bps[0], 1944030037.7152839);
+  EXPECT_DOUBLE_EQ(g.rate_bps[1], 1741645420.2643888);
+}
+
+TEST(GoldenTrace, TwoFlowQcnIncastAtSeed42) {
+  const GoldenRun g = RunScenario(42, TransportMode::kQcn);
+
+  // QCN runs with RED off and the switch-side CP sampler on: feedback
+  // arrives as quantized congestion messages, counted like CNPs at the RP.
+  EXPECT_EQ(g.sw.rx_packets, 6694);
+  EXPECT_EQ(g.sw.tx_packets, 6701);
+  EXPECT_EQ(g.sw.dropped_packets, 0);
+  EXPECT_EQ(g.sw.ecn_marked_packets, 0);
+  EXPECT_EQ(g.sw.qcn_feedback_sent, 7);
+
+  EXPECT_EQ(g.delivered[0], 4127000);
+  EXPECT_EQ(g.delivered[1], 2363000);
+  EXPECT_EQ(g.cnps[0], 3);
+  EXPECT_EQ(g.cnps[1], 4);
+  EXPECT_EQ(g.pkts_sent[0], 4131);
+  EXPECT_EQ(g.pkts_sent[1], 2365);
+
+  EXPECT_DOUBLE_EQ(g.rate_bps[0], 16433720702.322058);
+  EXPECT_DOUBLE_EQ(g.rate_bps[1], 8856498794.676384);
 }
 
 TEST(GoldenTrace, RepeatedRunsAreBitIdentical) {
