@@ -15,7 +15,7 @@
 #include "net/topology.h"
 #include "runner/runner.h"
 #include "stats/stats.h"
-#include "trace/workload.h"
+#include "workload/pairs.h"
 
 namespace dcqcn {
 namespace bench {

@@ -11,6 +11,7 @@
 #include "net/topology.h"
 #include "runner/runner.h"
 #include "sim/event_queue.h"
+#include "workload/poisson.h"
 
 namespace dcqcn {
 namespace {
@@ -273,6 +274,66 @@ void BM_RunnerFluidSweep(benchmark::State& state) {
                           static_cast<int64_t>(matrix.size()));
 }
 BENCHMARK(BM_RunnerFluidSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Pure generator overhead of the WorkloadPattern seam: a null host absorbs
+// emissions (no network), so each iteration measures one poisson arrival —
+// the timer callback, the RNG draws, the size-CDF inversion and the
+// bookkeeping. Guards the per-flow cost the engine pays before any packet
+// exists (matters when a 512-host trial emits hundreds of flows per
+// simulated millisecond).
+class NullWorkloadHost : public workload::WorkloadHost {
+ public:
+  explicit NullWorkloadHost(int num_hosts) : num_hosts_(num_hosts) {}
+
+  Time Now() const override { return now_; }
+  int num_hosts() const override { return num_hosts_; }
+  int LaunchFlow(const workload::EmitSpec& spec) override {
+    benchmark::DoNotOptimize(spec.size_bytes);
+    ++metrics_.started;
+    ++metrics_.in_flight;
+    return next_id_++;
+  }
+  bool EnqueueOnFlow(int flow_id, Bytes bytes) override {
+    benchmark::DoNotOptimize(flow_id);
+    benchmark::DoNotOptimize(bytes);
+    ++metrics_.started;
+    ++metrics_.in_flight;
+    return true;
+  }
+  void ScheduleIn(Time delay, std::function<void()> cb) override {
+    now_ += delay;
+    pending_.push_back(std::move(cb));
+  }
+  workload::WorkloadMetrics& metrics() override { return metrics_; }
+
+  void RunOne() {
+    if (pending_.empty()) return;
+    std::function<void()> cb = std::move(pending_.back());
+    pending_.pop_back();
+    cb();
+  }
+
+ private:
+  int num_hosts_;
+  Time now_ = 0;
+  int next_id_ = 0;
+  std::vector<std::function<void()>> pending_;
+  workload::WorkloadMetrics metrics_;
+};
+
+void BM_WorkloadEmit(benchmark::State& state) {
+  NullWorkloadHost host(512);
+  workload::PoissonOptions opts;
+  opts.offered_load = Gbps(2000);
+  opts.seed = 7;
+  workload::PoissonPattern pattern(opts);
+  pattern.Begin(host);
+  for (auto _ : state) {
+    host.RunOne();  // one arrival: launch + reschedule
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadEmit);
 
 }  // namespace
 }  // namespace dcqcn

@@ -10,6 +10,11 @@
 //     --incast=K                disk-rebuild incast degree (default 8)
 //     --pairs=P                 closed-loop user pairs (default 12)
 //     --poisson=GBPS            extra open-loop Poisson load (default 0)
+//     --workload=SPEC           replace the default pairs+poisson drivers
+//                               with a registered WorkloadPattern,
+//                               NAME[:key=val,...] (e.g. incast:fanin=16 or
+//                               allreduce-ring:nodes=8,kb=4096); composes
+//                               with --cc
 //     --ms=D                    simulated milliseconds (default 30)
 //     --seed=S                  RNG seed (default 1)
 //     --no-pfc                  disable PFC (lossy fabric)
@@ -49,6 +54,7 @@ struct Args {
   int incast = 8;
   int pairs = 12;
   double poisson_gbps = 0;
+  std::string workload;  // empty = default pairs+poisson drivers
   int ms = 30;
   uint64_t seed = 1;
   bool pfc = true;
@@ -78,6 +84,8 @@ bool Parse(int argc, char** argv, Args* a) {
       a->pairs = std::atoi(v);
     } else if (const char* v = val("--poisson=")) {
       a->poisson_gbps = std::atof(v);
+    } else if (const char* v = val("--workload=")) {
+      a->workload = v;
     } else if (const char* v = val("--ms=")) {
       a->ms = std::atoi(v);
     } else if (const char* v = val("--seed=")) {
@@ -165,18 +173,42 @@ int main(int argc, char** argv) {
   bopt.mode = cc_mode;
   bopt.cc_policy = cc_policy;
   bopt.seed = args.seed;
-  BenchmarkTraffic traffic(net, hosts, bopt);
-  traffic.Begin();
-
+  std::unique_ptr<BenchmarkTraffic> traffic;
   std::unique_ptr<PoissonArrivals> poisson;
-  if (args.poisson_gbps > 0) {
-    PoissonArrivalOptions popt;
-    popt.offered_load = Gbps(args.poisson_gbps);
-    popt.mode = cc_mode;
-    popt.cc_policy = cc_policy;
-    popt.seed = args.seed + 1;
-    poisson = std::make_unique<PoissonArrivals>(net, hosts, popt);
-    poisson->Begin();
+  std::unique_ptr<workload::WorkloadPattern> wl_pattern;
+  std::unique_ptr<workload::SimWorkloadHost> wl_host;
+  if (!args.workload.empty()) {
+    // Registry-driven traffic: any --workload pattern over the same hosts,
+    // flows stamped with the --cc policy.
+    const workload::WorkloadSpec spec =
+        workload::ParseWorkloadSpec(args.workload);
+    if (!spec.ok || workload::WorkloadPatternIdByName(spec.name) < 0) {
+      std::string names;
+      for (const std::string& n : workload::WorkloadPatternNames()) {
+        if (!names.empty()) names += ", ";
+        names += n;
+      }
+      std::fprintf(stderr, "bad --workload '%s'%s%s (registered: %s)\n",
+                   args.workload.c_str(), spec.ok ? "" : ": ",
+                   spec.ok ? "" : spec.error.c_str(), names.c_str());
+      return 1;
+    }
+    wl_pattern = workload::CreateWorkloadPattern(spec, args.seed);
+    wl_host = std::make_unique<workload::SimWorkloadHost>(net, hosts, cc_mode,
+                                                          cc_policy);
+    wl_host->Begin(*wl_pattern);
+  } else {
+    traffic = std::make_unique<BenchmarkTraffic>(net, hosts, bopt);
+    traffic->Begin();
+    if (args.poisson_gbps > 0) {
+      PoissonArrivalOptions popt;
+      popt.offered_load = Gbps(args.poisson_gbps);
+      popt.mode = cc_mode;
+      popt.cc_policy = cc_policy;
+      popt.seed = args.seed + 1;
+      poisson = std::make_unique<PoissonArrivals>(net, hosts, popt);
+      poisson->Begin();
+    }
   }
 
   std::unique_ptr<FaultInjector> injector;
@@ -198,15 +230,33 @@ int main(int argc, char** argv) {
 
   net.RunFor(static_cast<Time>(args.ms) * kMillisecond);
 
-  std::printf("scenario: %s, %zu hosts, mode=%s, incast=%d, pairs=%d, "
-              "poisson=%.0fG, %d ms, pfc=%s\n\n",
-              args.topo.c_str(), hosts.size(), args.mode.c_str(),
-              bopt.incast_degree, args.pairs, args.poisson_gbps, args.ms,
-              args.pfc ? "on" : "OFF");
-  std::printf("goodput (Gbps):\n");
-  PrintCdf("user transfers", traffic.user_goodput());
-  PrintCdf("incast chunks", traffic.incast_goodput());
-  if (poisson) PrintCdf("poisson flows", poisson->goodput());
+  if (wl_host != nullptr) {
+    const workload::WorkloadMetrics& m = wl_host->metrics();
+    std::printf("scenario: %s, %zu hosts, mode=%s, workload=%s, %d ms, "
+                "pfc=%s\n\n",
+                args.topo.c_str(), hosts.size(), args.mode.c_str(),
+                args.workload.c_str(), args.ms, args.pfc ? "on" : "OFF");
+    std::printf("workload: started %lld, completed %lld, in flight %lld, "
+                "skipped %lld\n",
+                static_cast<long long>(m.started),
+                static_cast<long long>(m.completed),
+                static_cast<long long>(m.in_flight),
+                static_cast<long long>(m.skipped));
+    PrintCdf("goodput (Gbps)", m.goodput_gbps);
+    PrintCdf("fct (us)", m.fct_us);
+    PrintCdf("fct slowdown", m.slowdown);
+    PrintCdf("iteration (us)", m.iteration_us);
+  } else {
+    std::printf("scenario: %s, %zu hosts, mode=%s, incast=%d, pairs=%d, "
+                "poisson=%.0fG, %d ms, pfc=%s\n\n",
+                args.topo.c_str(), hosts.size(), args.mode.c_str(),
+                bopt.incast_degree, args.pairs, args.poisson_gbps, args.ms,
+                args.pfc ? "on" : "OFF");
+    std::printf("goodput (Gbps):\n");
+    PrintCdf("user transfers", traffic->user_goodput());
+    PrintCdf("incast chunks", traffic->incast_goodput());
+    if (poisson) PrintCdf("poisson flows", poisson->goodput());
+  }
 
   int64_t marks = 0;
   for (const auto& sw : net.switches()) {

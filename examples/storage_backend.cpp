@@ -11,7 +11,7 @@
 #include <cstdlib>
 
 #include "net/topology.h"
-#include "trace/workload.h"
+#include "workload/pairs.h"
 
 using namespace dcqcn;
 

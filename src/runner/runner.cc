@@ -10,6 +10,7 @@
 
 #include "cc/cc_policy.h"
 #include "common/check.h"
+#include "workload/workload.h"
 #include "runner/serialize.h"
 
 namespace dcqcn {
@@ -168,7 +169,7 @@ CliOptions ParseCli(int argc, char** argv) {
     cli.ok = false;
     cli.error = msg +
                 " (flags: --jobs N --seed S --json PATH --csv PATH"
-                " --trace PREFIX --cc POLICY)";
+                " --trace PREFIX --cc POLICY --workload NAME[:k=v,...])";
     return cli;
   };
 
@@ -219,6 +220,20 @@ CliOptions ParseCli(int argc, char** argv) {
                     names + ")");
       }
       cli.cc = value;
+    } else if (arg == "--workload") {
+      if (!need_value()) return fail("--workload requires a pattern spec");
+      const workload::WorkloadSpec spec = workload::ParseWorkloadSpec(value);
+      if (!spec.ok) return fail(spec.error);
+      if (workload::WorkloadPatternIdByName(spec.name) < 0) {
+        std::string names;
+        for (const std::string& n : workload::WorkloadPatternNames()) {
+          if (!names.empty()) names += ", ";
+          names += n;
+        }
+        return fail("unknown --workload pattern '" + spec.name +
+                    "' (registered: " + names + ")");
+      }
+      cli.workload = value;
     } else {
       return fail("unknown flag '" + arg + "'");
     }

@@ -118,6 +118,11 @@ std::vector<TrialResult> RunTrials(const std::vector<TrialSpec>& matrix,
 //                 rejected with the registered names listed if unknown.
 //                 Empty = the bench's default. Benches apply it with
 //                 CcFromCli (below).
+//   --workload SPEC  traffic pattern, `NAME[:key=val,...]` over the
+//                 WorkloadPattern registry (src/workload/workload.h);
+//                 rejected with the registered names listed if the name is
+//                 unknown or the spec fails to parse. Empty = the bench's
+//                 default pattern matrix.
 // Both `--flag value` and `--flag=value` are accepted.
 struct CliOptions {
   int jobs = 1;
@@ -126,6 +131,7 @@ struct CliOptions {
   std::string csv_path;       // empty = don't write
   std::string trace_prefix;   // empty = tracing off
   std::string cc;             // empty = bench default policy
+  std::string workload;       // empty = bench default pattern matrix
   bool ok = true;
   std::string error;  // set when !ok
 };

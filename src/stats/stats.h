@@ -45,6 +45,11 @@ class Cdf {
   double FractionBelow(double v) const;
   // `n` evenly spaced (quantile, value) points for printing.
   std::vector<std::pair<double, double>> Points(int n) const;
+  // Sorted copy of the samples (feed to Summarize for TrialResult output).
+  std::vector<double> Values() const {
+    Sort();
+    return values_;
+  }
 
  private:
   mutable std::vector<double> values_;

@@ -57,13 +57,9 @@ EmpiricalSizeCdf EmpiricalSizeCdf::StorageBackend() {
   });
 }
 
-EmpiricalSizeCdf EmpiricalSizeCdf::StorageBackendScaled(double factor) {
+EmpiricalSizeCdf EmpiricalSizeCdf::Scaled(
+    std::vector<std::pair<double, Bytes>> knots, double factor) {
   DCQCN_CHECK(factor > 0);
-  std::vector<std::pair<double, Bytes>> knots = {
-      {0.10, 2 * kKB},   {0.30, 8 * kKB},    {0.50, 32 * kKB},
-      {0.70, 128 * kKB}, {0.90, 1000 * kKB}, {0.98, 2000 * kKB},
-      {1.00, 4000 * kKB},
-  };
   Bytes prev = 0;
   for (auto& [p, b] : knots) {
     b = std::max<Bytes>(
@@ -72,6 +68,64 @@ EmpiricalSizeCdf EmpiricalSizeCdf::StorageBackendScaled(double factor) {
     prev = b;
   }
   return EmpiricalSizeCdf(std::move(knots));
+}
+
+EmpiricalSizeCdf EmpiricalSizeCdf::StorageBackendScaled(double factor) {
+  return Scaled({{0.10, 2 * kKB},
+                 {0.30, 8 * kKB},
+                 {0.50, 32 * kKB},
+                 {0.70, 128 * kKB},
+                 {0.90, 1000 * kKB},
+                 {0.98, 2000 * kKB},
+                 {1.00, 4000 * kKB}},
+                factor);
+}
+
+EmpiricalSizeCdf EmpiricalSizeCdf::WebSearch() {
+  return EmpiricalSizeCdf({
+      {0.15, 6 * kKB},
+      {0.30, 13 * kKB},
+      {0.50, 29 * kKB},
+      {0.70, 100 * kKB},
+      {0.80, 300 * kKB},
+      {0.90, 1000 * kKB},
+      {0.95, 5000 * kKB},
+      {1.00, 30000 * kKB},
+  });
+}
+
+EmpiricalSizeCdf EmpiricalSizeCdf::AlibabaStorage() {
+  return EmpiricalSizeCdf({
+      {0.20, 4 * kKB},
+      {0.50, 16 * kKB},
+      {0.80, 64 * kKB},
+      {0.95, 256 * kKB},
+      {1.00, 2000 * kKB},
+  });
+}
+
+EmpiricalSizeCdf EmpiricalSizeCdf::ByName(const std::string& name,
+                                          double scale) {
+  if (name == "storage-backend") return StorageBackendScaled(scale);
+  std::vector<std::pair<double, Bytes>> knots;
+  if (name == "websearch") {
+    knots = {{0.15, 6 * kKB},    {0.30, 13 * kKB},   {0.50, 29 * kKB},
+             {0.70, 100 * kKB},  {0.80, 300 * kKB},  {0.90, 1000 * kKB},
+             {0.95, 5000 * kKB}, {1.00, 30000 * kKB}};
+  } else if (name == "alibaba-storage") {
+    knots = {{0.20, 4 * kKB},
+             {0.50, 16 * kKB},
+             {0.80, 64 * kKB},
+             {0.95, 256 * kKB},
+             {1.00, 2000 * kKB}};
+  } else {
+    DCQCN_CHECK(false);  // unknown size-CDF name; see Names()
+  }
+  return Scaled(std::move(knots), scale);
+}
+
+std::vector<std::string> EmpiricalSizeCdf::Names() {
+  return {"storage-backend", "websearch", "alibaba-storage"};
 }
 
 }  // namespace dcqcn

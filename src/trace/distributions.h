@@ -9,6 +9,7 @@
 // published DC distributions).
 #pragma once
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -40,7 +41,27 @@ class EmpiricalSizeCdf {
   // per simulated millisecond.
   static EmpiricalSizeCdf StorageBackendScaled(double factor);
 
+  // The DCTCP web-search mix (Alizadeh et al., SIGCOMM 2010): query/response
+  // dominated by short flows, with a sparse multi-megabyte update tail that
+  // carries most of the bytes. Knots match the published shape, not raw
+  // trace data.
+  static EmpiricalSizeCdf WebSearch();
+
+  // Alibaba-style storage-pod IO (published EBS/pangu characterizations):
+  // almost all operations are 4-64 KB block IO, tail to ~2 MB compactions.
+  static EmpiricalSizeCdf AlibabaStorage();
+
+  // Name -> distribution for the --workload `cdf=` param:
+  // "storage-backend" (the §6.2 default), "websearch", "alibaba-storage".
+  // `scale` compresses sizes like StorageBackendScaled (1 KB floor,
+  // monotonicity preserved). CHECK-fails on an unknown name; Names() is the
+  // valid domain.
+  static EmpiricalSizeCdf ByName(const std::string& name, double scale = 1.0);
+  static std::vector<std::string> Names();
+
  private:
+  static EmpiricalSizeCdf Scaled(std::vector<std::pair<double, Bytes>> knots,
+                                 double factor);
   std::vector<std::pair<double, Bytes>> knots_;
 };
 

@@ -1,0 +1,129 @@
+#include "workload/collective.h"
+
+#include <algorithm>
+
+namespace dcqcn {
+namespace workload {
+
+namespace {
+
+// Draws `k` distinct participant indices from [0, n): shuffle the identity
+// permutation, keep the prefix.
+std::vector<int> PickParticipants(Rng& rng, int64_t n, int k) {
+  std::vector<int> all;
+  for (int64_t i = 0; i < n; ++i) all.push_back(static_cast<int>(i));
+  std::shuffle(all.begin(), all.end(), rng.engine());
+  all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+}  // namespace
+
+// --- ring all-reduce --------------------------------------------------------
+
+AllreduceRingPattern::AllreduceRingPattern(const AllreduceRingOptions& opts)
+    : opts_(opts), rng_(opts.seed) {
+  DCQCN_CHECK(opts_.nodes >= 2);
+  DCQCN_CHECK(opts_.iterations >= 0);
+  chunk_bytes_ = opts_.vector_bytes / opts_.nodes;
+  DCQCN_CHECK(chunk_bytes_ > 0);  // vector must split into non-empty chunks
+}
+
+void AllreduceRingPattern::Begin(WorkloadHost& host) {
+  const auto n = static_cast<int64_t>(host.num_hosts());
+  DCQCN_CHECK(opts_.nodes <= n);
+  ring_ = PickParticipants(rng_, n, opts_.nodes);
+  StartIteration(host);
+}
+
+void AllreduceRingPattern::StartIteration(WorkloadHost& host) {
+  iter_start_ = host.Now();
+  step_ = 0;
+  StartStep(host);
+}
+
+void AllreduceRingPattern::StartStep(WorkloadHost& host) {
+  outstanding_ = 0;
+  const auto k = ring_.size();
+  for (size_t i = 0; i < k; ++i) {
+    EmitSpec e;
+    e.src = ring_[i];
+    e.dst = ring_[(i + 1) % k];
+    e.size_bytes = chunk_bytes_;
+    e.ecmp_salt = rng_.NextU64();
+    if (host.LaunchFlow(e) < 0) {
+      halted_ = true;
+      return;
+    }
+    ++outstanding_;
+  }
+}
+
+void AllreduceRingPattern::OnFlowComplete(WorkloadHost& host,
+                                          const FlowRecord& rec,
+                                          uint64_t tag) {
+  (void)rec;
+  (void)tag;
+  if (--outstanding_ > 0) return;
+  if (halted_) return;
+  ++step_;
+  if (step_ < steps_per_iteration()) {
+    StartStep(host);
+    return;
+  }
+  host.metrics().iteration_us.Add(ToMicroseconds(host.Now() - iter_start_));
+  ++iters_done_;
+  if (opts_.iterations > 0 && iters_done_ >= opts_.iterations) return;
+  StartIteration(host);
+}
+
+// --- all-to-all -------------------------------------------------------------
+
+AllToAllPattern::AllToAllPattern(const AllToAllOptions& opts)
+    : opts_(opts), rng_(opts.seed) {
+  DCQCN_CHECK(opts_.nodes >= 2);
+  DCQCN_CHECK(opts_.bytes_per_peer > 0);
+  DCQCN_CHECK(opts_.rounds >= 0);
+}
+
+void AllToAllPattern::Begin(WorkloadHost& host) {
+  const auto n = static_cast<int64_t>(host.num_hosts());
+  DCQCN_CHECK(opts_.nodes <= n);
+  group_ = PickParticipants(rng_, n, opts_.nodes);
+  StartRound(host);
+}
+
+void AllToAllPattern::StartRound(WorkloadHost& host) {
+  round_start_ = host.Now();
+  outstanding_ = 0;
+  for (int src : group_) {
+    for (int dst : group_) {
+      if (src == dst) continue;
+      EmitSpec e;
+      e.src = src;
+      e.dst = dst;
+      e.size_bytes = opts_.bytes_per_peer;
+      e.ecmp_salt = rng_.NextU64();
+      if (host.LaunchFlow(e) < 0) {
+        halted_ = true;
+        return;
+      }
+      ++outstanding_;
+    }
+  }
+}
+
+void AllToAllPattern::OnFlowComplete(WorkloadHost& host, const FlowRecord& rec,
+                                     uint64_t tag) {
+  (void)rec;
+  (void)tag;
+  if (--outstanding_ > 0) return;
+  if (halted_) return;
+  host.metrics().iteration_us.Add(ToMicroseconds(host.Now() - round_start_));
+  ++rounds_done_;
+  if (opts_.rounds > 0 && rounds_done_ >= opts_.rounds) return;
+  StartRound(host);
+}
+
+}  // namespace workload
+}  // namespace dcqcn

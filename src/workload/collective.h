@@ -1,0 +1,93 @@
+// ML-collective traffic patterns: ring all-reduce and all-to-all shuffle
+// (`--workload=allreduce-ring`, `--workload=alltoall`).
+//
+// Both report per-iteration collective completion time through
+// metrics().iteration_us — the application-level metric for training jobs
+// (one slow flow stalls the whole step, so the distribution's tail is what
+// matters, not fabric throughput).
+#pragma once
+
+#include "common/rng.h"
+#include "workload/workload.h"
+
+namespace dcqcn {
+namespace workload {
+
+// Ring all-reduce over K participants drawn from the host set: the
+// `vector_bytes` gradient is split into K chunks; each of the 2*(K-1) steps
+// has every node send one chunk to its ring successor (reduce-scatter then
+// all-gather). A step is a barrier — the next step starts only when all K
+// transfers of the current step completed — so the step dependency
+// structure (and its sensitivity to one laggard flow) is modeled, not just
+// the byte volume.
+struct AllreduceRingOptions {
+  int nodes = 8;                 // ring size K (participants)
+  Bytes vector_bytes = 1024 * kKB;  // full gradient size per iteration
+  // Number of all-reduce iterations; 0 = repeat until drained.
+  int64_t iterations = 0;
+  uint64_t seed = 1;
+};
+
+class AllreduceRingPattern : public WorkloadPattern {
+ public:
+  explicit AllreduceRingPattern(const AllreduceRingOptions& opts);
+
+  const char* name() const override { return "allreduce-ring"; }
+  void Begin(WorkloadHost& host) override;
+  void OnFlowComplete(WorkloadHost& host, const FlowRecord& rec,
+                      uint64_t tag) override;
+
+  int64_t iterations_completed() const { return iters_done_; }
+  int steps_per_iteration() const { return 2 * (opts_.nodes - 1); }
+
+ private:
+  void StartIteration(WorkloadHost& host);
+  void StartStep(WorkloadHost& host);
+
+  AllreduceRingOptions opts_;
+  Rng rng_;
+  std::vector<int> ring_;  // participant host indices, ring order
+  Bytes chunk_bytes_ = 0;
+  Time iter_start_ = 0;
+  int step_ = 0;
+  int outstanding_ = 0;
+  bool halted_ = false;
+  int64_t iters_done_ = 0;
+};
+
+// All-to-all shuffle over K participants: each round, every participant
+// sends `bytes_per_peer` to every other participant (K*(K-1) flows), with a
+// barrier per round — the MoE dispatch / DLRM embedding-exchange pattern.
+struct AllToAllOptions {
+  int nodes = 8;
+  Bytes bytes_per_peer = 128 * kKB;
+  // Number of rounds; 0 = repeat until drained.
+  int64_t rounds = 0;
+  uint64_t seed = 1;
+};
+
+class AllToAllPattern : public WorkloadPattern {
+ public:
+  explicit AllToAllPattern(const AllToAllOptions& opts);
+
+  const char* name() const override { return "alltoall"; }
+  void Begin(WorkloadHost& host) override;
+  void OnFlowComplete(WorkloadHost& host, const FlowRecord& rec,
+                      uint64_t tag) override;
+
+  int64_t rounds_completed() const { return rounds_done_; }
+
+ private:
+  void StartRound(WorkloadHost& host);
+
+  AllToAllOptions opts_;
+  Rng rng_;
+  std::vector<int> group_;  // participant host indices
+  Time round_start_ = 0;
+  int outstanding_ = 0;
+  bool halted_ = false;
+  int64_t rounds_done_ = 0;
+};
+
+}  // namespace workload
+}  // namespace dcqcn

@@ -1,0 +1,66 @@
+#include "workload/incast.h"
+
+#include <algorithm>
+
+namespace dcqcn {
+namespace workload {
+
+IncastPattern::IncastPattern(const IncastOptions& opts)
+    : opts_(opts), rng_(opts.seed) {
+  DCQCN_CHECK(opts_.fan_in >= 1);
+  DCQCN_CHECK(opts_.request_bytes > 0);
+  DCQCN_CHECK(opts_.epochs >= 0);
+  DCQCN_CHECK(opts_.epoch_gap >= 0);
+}
+
+void IncastPattern::Begin(WorkloadHost& host) {
+  const auto n = static_cast<int64_t>(host.num_hosts());
+  DCQCN_CHECK(opts_.fan_in < n);
+
+  const auto r = rng_.UniformInt(0, n - 1);
+  receiver_ = static_cast<int>(r);
+  std::vector<int> others;
+  for (int64_t i = 0; i < n; ++i) {
+    if (i != r) others.push_back(static_cast<int>(i));
+  }
+  std::shuffle(others.begin(), others.end(), rng_.engine());
+  senders_.assign(others.begin(), others.begin() + opts_.fan_in);
+
+  StartEpoch(host);
+}
+
+void IncastPattern::StartEpoch(WorkloadHost& host) {
+  epoch_start_ = host.Now();
+  outstanding_ = 0;
+  for (int s : senders_) {
+    EmitSpec e;
+    e.src = s;
+    e.dst = receiver_;
+    e.size_bytes = opts_.request_bytes;
+    e.ecmp_salt = rng_.NextU64();
+    if (host.LaunchFlow(e) < 0) {
+      halted_ = true;  // draining; finish what launched, record nothing
+      return;
+    }
+    ++outstanding_;
+  }
+}
+
+void IncastPattern::OnFlowComplete(WorkloadHost& host, const FlowRecord& rec,
+                                   uint64_t tag) {
+  (void)rec;
+  (void)tag;
+  if (--outstanding_ > 0) return;
+  if (halted_) return;
+  host.metrics().iteration_us.Add(ToMicroseconds(host.Now() - epoch_start_));
+  ++epochs_done_;
+  if (opts_.epochs > 0 && epochs_done_ >= opts_.epochs) return;
+  if (opts_.epoch_gap > 0) {
+    host.ScheduleIn(opts_.epoch_gap, [this, &host] { StartEpoch(host); });
+  } else {
+    StartEpoch(host);
+  }
+}
+
+}  // namespace workload
+}  // namespace dcqcn

@@ -1,0 +1,53 @@
+// N:1 incast fan as a WorkloadPattern (`--workload=incast`).
+//
+// One randomly chosen receiver; `fan_in` distinct senders each push a
+// `request_bytes` response simultaneously (a partition-aggregate query or a
+// distributed read reassembling a striped object). All responses of an
+// epoch form a barrier: the epoch completes when the last response lands,
+// its wall time is one metrics().iteration_us sample, and the next epoch
+// starts after `epoch_gap`. This is the canonical PFC/CC stress: every
+// epoch starts `fan_in` fresh line-rate flows into one egress.
+#pragma once
+
+#include "common/rng.h"
+#include "workload/workload.h"
+
+namespace dcqcn {
+namespace workload {
+
+struct IncastOptions {
+  int fan_in = 8;
+  Bytes request_bytes = 256 * kKB;  // per-sender response size
+  // Number of epochs; 0 = repeat until the host drains the workload.
+  int64_t epochs = 0;
+  Time epoch_gap = 0;  // idle time between an epoch's barrier and the next
+  uint64_t seed = 1;
+};
+
+class IncastPattern : public WorkloadPattern {
+ public:
+  explicit IncastPattern(const IncastOptions& opts);
+
+  const char* name() const override { return "incast"; }
+  void Begin(WorkloadHost& host) override;
+  void OnFlowComplete(WorkloadHost& host, const FlowRecord& rec,
+                      uint64_t tag) override;
+
+  int64_t epochs_completed() const { return epochs_done_; }
+  int receiver() const { return receiver_; }
+
+ private:
+  void StartEpoch(WorkloadHost& host);
+
+  IncastOptions opts_;
+  Rng rng_;
+  int receiver_ = -1;
+  std::vector<int> senders_;
+  Time epoch_start_ = 0;
+  int outstanding_ = 0;
+  bool halted_ = false;  // drain began mid-epoch; don't record a partial one
+  int64_t epochs_done_ = 0;
+};
+
+}  // namespace workload
+}  // namespace dcqcn

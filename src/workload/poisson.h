@@ -1,0 +1,104 @@
+// Open-loop Poisson flow arrivals as a WorkloadPattern (`--workload=poisson`),
+// migrated from the former src/trace/arrivals.{h,cc} driver.
+//
+// Samples exponential inter-arrival times at a target offered load, picks
+// random distinct (src, dst) host pairs, and draws sizes from a named
+// flow-size distribution — the standard open-loop load-sweep driver of
+// datacenter-transport studies, and a realistic background-traffic source.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/distributions.h"
+#include "workload/sim_host.h"
+#include "workload/workload.h"
+
+namespace dcqcn {
+namespace workload {
+
+struct PoissonOptions {
+  // Offered load in bits/s across the whole host set. The arrival rate is
+  // load / mean_flow_size.
+  Rate offered_load = Gbps(40);
+  double size_scale = 1.0;
+  // One of EmpiricalSizeCdf::Names().
+  std::string size_cdf = "storage-backend";
+  uint64_t seed = 1;
+  // Optional cap on concurrently active generated flows (0 = unlimited);
+  // protects against overload collapse in long overloaded runs. Suppressed
+  // arrivals count as metrics().skipped.
+  int max_in_flight = 0;
+};
+
+class PoissonPattern : public WorkloadPattern {
+ public:
+  explicit PoissonPattern(const PoissonOptions& opts);
+
+  const char* name() const override { return "poisson"; }
+  void Begin(WorkloadHost& host) override;
+
+  // Mean inter-arrival time implied by the configuration.
+  Time mean_interarrival() const { return mean_gap_; }
+
+ private:
+  void ScheduleNext(WorkloadHost& host);
+  void LaunchOne(WorkloadHost& host);
+
+  PoissonOptions opts_;
+  Rng rng_;
+  EmpiricalSizeCdf sizes_;
+  Time mean_gap_ = 0;
+};
+
+// Compatibility adapter keeping the pre-migration driver API: owns a
+// SimWorkloadHost + PoissonPattern pair and forwards the old accessors.
+struct PoissonArrivalOptions {
+  Rate offered_load = Gbps(40);
+  TransportMode mode = TransportMode::kRdmaDcqcn;
+  // CcPolicy id stamped on every generated flow (-1 = default for mode).
+  int16_t cc_policy = -1;
+  double size_scale = 1.0;
+  uint64_t seed = 1;
+  int max_in_flight = 0;
+};
+
+class PoissonArrivals {
+ public:
+  PoissonArrivals(Network& net, std::vector<RdmaNic*> hosts,
+                  const PoissonArrivalOptions& opts);
+
+  // Starts the arrival process at the current simulation time.
+  void Begin() { host_.Begin(pattern_); }
+
+  int64_t started() const { return host_.metrics().started; }
+  int64_t completed() const { return host_.metrics().completed; }
+  int64_t skipped_in_flight_cap() const { return host_.metrics().skipped; }
+  // Per-flow goodput (Gbps) and flow completion time (us).
+  const Cdf& goodput() const { return host_.metrics().goodput_gbps; }
+  const Cdf& fct_us() const { return host_.metrics().fct_us; }
+  Time mean_interarrival() const { return pattern_.mean_interarrival(); }
+
+ private:
+  static PoissonOptions ToPatternOptions(const PoissonArrivalOptions& o) {
+    PoissonOptions p;
+    p.offered_load = o.offered_load;
+    p.size_scale = o.size_scale;
+    p.seed = o.seed;
+    p.max_in_flight = o.max_in_flight;
+    return p;
+  }
+
+  SimWorkloadHost host_;
+  PoissonPattern pattern_;
+};
+
+}  // namespace workload
+
+// The driver predates the workload namespace; existing call sites use the
+// dcqcn:: names.
+using workload::PoissonArrivalOptions;
+using workload::PoissonArrivals;
+
+}  // namespace dcqcn

@@ -1,0 +1,209 @@
+#include "workload/workload.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "common/check.h"
+#include "workload/collective.h"
+#include "workload/incast.h"
+#include "workload/pairs.h"
+#include "workload/poisson.h"
+
+namespace dcqcn {
+namespace workload {
+
+int64_t WorkloadConfig::GetInt(const std::string& key, int64_t def) const {
+  auto it = params.find(key);
+  if (it == params.end()) return def;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  DCQCN_CHECK(end != nullptr && *end == '\0' && !it->second.empty());
+  return v;
+}
+
+double WorkloadConfig::GetDouble(const std::string& key, double def) const {
+  auto it = params.find(key);
+  if (it == params.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  DCQCN_CHECK(end != nullptr && *end == '\0' && !it->second.empty());
+  return v;
+}
+
+std::string WorkloadConfig::GetString(const std::string& key,
+                                      std::string def) const {
+  auto it = params.find(key);
+  return it == params.end() ? def : it->second;
+}
+
+void WorkloadConfig::CheckKeys(std::initializer_list<const char*> known) const {
+  for (const auto& kv : params) {
+    bool found = false;
+    for (const char* k : known) {
+      if (kv.first == k) {
+        found = true;
+        break;
+      }
+    }
+    DCQCN_CHECK(found);  // unknown --workload param key
+  }
+}
+
+WorkloadSpec ParseWorkloadSpec(const std::string& text) {
+  WorkloadSpec spec;
+  if (text.empty()) {
+    spec.ok = false;
+    spec.error = "empty workload spec";
+    return spec;
+  }
+  const size_t colon = text.find(':');
+  spec.name = text.substr(0, colon);
+  if (spec.name.empty()) {
+    spec.ok = false;
+    spec.error = "workload spec has no pattern name";
+    return spec;
+  }
+  if (colon == std::string::npos) return spec;
+
+  std::string rest = text.substr(colon + 1);
+  size_t pos = 0;
+  while (pos <= rest.size()) {
+    const size_t comma = rest.find(',', pos);
+    const std::string clause =
+        rest.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= clause.size()) {
+      spec.ok = false;
+      spec.error = "bad key=val clause '" + clause + "' in workload spec";
+      return spec;
+    }
+    spec.params[clause.substr(0, eq)] = clause.substr(eq + 1);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return spec;
+}
+
+namespace {
+
+std::vector<WorkloadPatternInfo>& MutableRegistry() {
+  static auto* reg = new std::vector<WorkloadPatternInfo>{
+      {"poisson",
+       [](const WorkloadConfig& c) -> std::unique_ptr<WorkloadPattern> {
+         c.CheckKeys({"load_gbps", "max_in_flight", "cdf"});
+         PoissonOptions o;
+         o.offered_load = Gbps(c.GetDouble("load_gbps", 40.0));
+         o.max_in_flight =
+             static_cast<int>(c.GetInt("max_in_flight", 0));
+         o.size_cdf = c.GetString("cdf", "storage-backend");
+         o.size_scale = c.size_scale;
+         o.seed = c.seed;
+         return std::make_unique<PoissonPattern>(o);
+       }},
+      {"pairs",
+       [](const WorkloadConfig& c) -> std::unique_ptr<WorkloadPattern> {
+         c.CheckKeys({"pairs", "incast", "incast_kb", "think_us", "cdf"});
+         PairsOptions o;
+         o.num_pairs = static_cast<int>(c.GetInt("pairs", 20));
+         o.incast_degree = static_cast<int>(c.GetInt("incast", 0));
+         o.incast_flow_bytes = c.GetInt("incast_kb", 4000) * kKB;
+         o.pair_think_time = Microseconds(c.GetInt("think_us", 1000));
+         o.size_cdf = c.GetString("cdf", "storage-backend");
+         o.size_scale = c.size_scale;
+         o.seed = c.seed;
+         return std::make_unique<PairsPattern>(o);
+       }},
+      {"incast",
+       [](const WorkloadConfig& c) -> std::unique_ptr<WorkloadPattern> {
+         c.CheckKeys({"fanin", "kb", "epochs", "gap_us"});
+         IncastOptions o;
+         o.fan_in = static_cast<int>(c.GetInt("fanin", 8));
+         o.request_bytes = c.GetInt("kb", 256) * kKB;
+         o.epochs = c.GetInt("epochs", 0);
+         o.epoch_gap = Microseconds(c.GetInt("gap_us", 0));
+         o.seed = c.seed;
+         return std::make_unique<IncastPattern>(o);
+       }},
+      {"allreduce-ring",
+       [](const WorkloadConfig& c) -> std::unique_ptr<WorkloadPattern> {
+         c.CheckKeys({"nodes", "kb", "iters"});
+         AllreduceRingOptions o;
+         o.nodes = static_cast<int>(c.GetInt("nodes", 8));
+         o.vector_bytes = c.GetInt("kb", 1024) * kKB;
+         o.iterations = c.GetInt("iters", 0);
+         o.seed = c.seed;
+         return std::make_unique<AllreduceRingPattern>(o);
+       }},
+      {"alltoall",
+       [](const WorkloadConfig& c) -> std::unique_ptr<WorkloadPattern> {
+         c.CheckKeys({"nodes", "kb", "rounds"});
+         AllToAllOptions o;
+         o.nodes = static_cast<int>(c.GetInt("nodes", 8));
+         o.bytes_per_peer = c.GetInt("kb", 128) * kKB;
+         o.rounds = c.GetInt("rounds", 0);
+         o.seed = c.seed;
+         return std::make_unique<AllToAllPattern>(o);
+       }},
+  };
+  return *reg;
+}
+
+std::mutex& RegistryMutex() {
+  static auto* m = new std::mutex;
+  return *m;
+}
+
+}  // namespace
+
+int RegisterWorkloadPattern(WorkloadPatternInfo info) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto& reg = MutableRegistry();
+  for (const auto& existing : reg) {
+    DCQCN_CHECK(existing.name != info.name);  // duplicate pattern name
+  }
+  DCQCN_CHECK(!info.name.empty());
+  DCQCN_CHECK(info.make != nullptr);
+  reg.push_back(std::move(info));
+  return static_cast<int>(reg.size()) - 1;
+}
+
+int WorkloadPatternIdByName(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  const auto& reg = MutableRegistry();
+  for (size_t i = 0; i < reg.size(); ++i) {
+    if (reg[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const WorkloadPatternInfo& WorkloadPatternInfoById(int id) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  const auto& reg = MutableRegistry();
+  DCQCN_CHECK(id >= 0 && static_cast<size_t>(id) < reg.size());
+  return reg[static_cast<size_t>(id)];
+}
+
+std::vector<std::string> WorkloadPatternNames() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string> names;
+  for (const auto& info : MutableRegistry()) names.push_back(info.name);
+  return names;
+}
+
+std::unique_ptr<WorkloadPattern> CreateWorkloadPattern(const WorkloadSpec& spec,
+                                                       uint64_t seed,
+                                                       double size_scale) {
+  DCQCN_CHECK(spec.ok);
+  const int id = WorkloadPatternIdByName(spec.name);
+  DCQCN_CHECK(id >= 0);  // unknown pattern; CLI layers validate first
+  WorkloadConfig config;
+  config.seed = seed;
+  config.size_scale = size_scale;
+  config.params = spec.params;
+  return WorkloadPatternInfoById(id).make(config);
+}
+
+}  // namespace workload
+}  // namespace dcqcn

@@ -1,12 +1,12 @@
 // Open-loop Poisson arrival driver tests.
-#include "trace/arrivals.h"
+#include "workload/poisson.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "net/topology.h"
-#include "trace/workload.h"
+#include "workload/pairs.h"
 
 namespace dcqcn {
 namespace {

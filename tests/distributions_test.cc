@@ -70,9 +70,105 @@ TEST(EmpiricalSizeCdf, Deterministic) {
 }
 
 TEST(EmpiricalSizeCdf, RejectsBadKnots) {
+  EXPECT_DEATH(EmpiricalSizeCdf({}), "");
   EXPECT_DEATH(EmpiricalSizeCdf({{0.5, 1000}}), "");
   EXPECT_DEATH(EmpiricalSizeCdf({{0.5, 1000}, {0.4, 2000}}), "");
   EXPECT_DEATH(EmpiricalSizeCdf({{0.5, 1000}, {1.0, 500}}), "");
+  // Duplicate probability, last knot != 1.0, sub-byte sizes.
+  EXPECT_DEATH(EmpiricalSizeCdf({{0.5, 1000}, {0.5, 2000}}), "");
+  EXPECT_DEATH(EmpiricalSizeCdf({{0.5, 1000}, {0.9, 2000}}), "");
+  EXPECT_DEATH(EmpiricalSizeCdf({{0.5, 0}, {1.0, 2000}}), "");
+}
+
+TEST(EmpiricalSizeCdf, BoundaryMassBelowFirstKnotIsExact) {
+  // All probability mass at or below the first knot returns the first knot's
+  // size exactly (p -> 0 clamps, no extrapolation below the head), and no
+  // draw ever exceeds the last knot (p -> 1 clamps to the tail).
+  EmpiricalSizeCdf cdf({{0.5, 1000}, {1.0, 100000}});
+  Rng rng(11);
+  int head = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const Bytes b = cdf.Sample(rng);
+    EXPECT_GE(b, 1000);
+    EXPECT_LE(b, 100000);
+    if (b == 1000) ++head;
+  }
+  // ~50% of u-draws land at or below p=0.5 and must clamp to exactly 1000.
+  EXPECT_GT(head, kDraws * 45 / 100);
+  EXPECT_LT(head, kDraws * 55 / 100);
+}
+
+TEST(EmpiricalSizeCdf, InterpolatesInLogSpaceWithinADecade) {
+  // One segment spanning a full decade: the median draw sits at the
+  // *geometric* midpoint sqrt(1000 * 10000) ~= 3162, not the arithmetic
+  // midpoint 5500 — the signature of log-space interpolation.
+  EmpiricalSizeCdf cdf({{0.0, 1000}, {1.0, 10000}});
+  Rng rng(12);
+  std::vector<Bytes> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(cdf.Sample(rng));
+  std::sort(samples.begin(), samples.end());
+  const Bytes median = samples[samples.size() / 2];
+  EXPECT_GT(median, 3000);
+  EXPECT_LT(median, 3350);
+}
+
+TEST(EmpiricalSizeCdf, MeanApproxIsDeterministicAndSeedStable) {
+  auto cdf = EmpiricalSizeCdf::StorageBackend();
+  // Same seed => bit-identical estimate (MeanApprox owns its Rng; it never
+  // draws from a caller's stream).
+  EXPECT_EQ(cdf.MeanApprox(20000, 7), cdf.MeanApprox(20000, 7));
+  // Different seeds estimate the same underlying mean within a few percent.
+  const double a = static_cast<double>(cdf.MeanApprox(20000, 1));
+  const double b = static_cast<double>(cdf.MeanApprox(20000, 99));
+  EXPECT_NEAR(a / b, 1.0, 0.05);
+}
+
+TEST(EmpiricalSizeCdf, ByNameCoversEveryRegisteredName) {
+  for (const std::string& name : EmpiricalSizeCdf::Names()) {
+    auto cdf = EmpiricalSizeCdf::ByName(name);
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) EXPECT_GE(cdf.Sample(rng), 1);
+  }
+  EXPECT_DEATH(EmpiricalSizeCdf::ByName("no-such-distribution"), "");
+}
+
+TEST(EmpiricalSizeCdf, NamedDistributionsMatchPublishedShape) {
+  Rng rng(14);
+  auto websearch = EmpiricalSizeCdf::WebSearch();
+  std::vector<Bytes> ws;
+  for (int i = 0; i < 50000; ++i) ws.push_back(websearch.Sample(rng));
+  std::sort(ws.begin(), ws.end());
+  // Median ~29 KB, max clamped to the 30 MB update tail.
+  EXPECT_GT(ws[ws.size() / 2], 15 * kKB);
+  EXPECT_LT(ws[ws.size() / 2], 60 * kKB);
+  EXPECT_LE(ws.back(), 30000 * kKB);
+
+  auto alibaba = EmpiricalSizeCdf::AlibabaStorage();
+  std::vector<Bytes> ali;
+  for (int i = 0; i < 50000; ++i) ali.push_back(alibaba.Sample(rng));
+  std::sort(ali.begin(), ali.end());
+  // Block-IO dominated: p75 comfortably inside the 64 KB knot, tail to 2 MB
+  // compactions (the empirical p80 straddles the knot, so test p75).
+  EXPECT_LE(ali[ali.size() * 3 / 4], 64 * kKB);
+  EXPECT_LE(ali.back(), 2000 * kKB);
+}
+
+TEST(EmpiricalSizeCdf, ByNameScalingFloorsAtOneKbAndStaysMonotone) {
+  // Extreme compression collapses every knot toward the 1 KB floor; the
+  // +1-byte monotonicity repair must keep the ctor CHECKs satisfied for
+  // every named distribution.
+  for (const std::string& name : EmpiricalSizeCdf::Names()) {
+    auto cdf = EmpiricalSizeCdf::ByName(name, 1e-6);
+    Rng rng(15);
+    for (int i = 0; i < 1000; ++i) EXPECT_GE(cdf.Sample(rng), 1 * kKB);
+  }
+  // Moderate scaling preserves shape: scaled mean tracks the factor.
+  auto full = EmpiricalSizeCdf::ByName("websearch");
+  auto tenth = EmpiricalSizeCdf::ByName("websearch", 0.1);
+  EXPECT_NEAR(static_cast<double>(tenth.MeanApprox()) /
+                  static_cast<double>(full.MeanApprox()),
+              0.1, 0.03);
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 // Benchmark-traffic generator tests (§6.2 workload) and the monitor
 // utilities, exercised over the real Clos testbed topology.
-#include "trace/workload.h"
+#include "workload/pairs.h"
 
 #include <gtest/gtest.h>
 
