@@ -15,16 +15,22 @@
 // Flags: `--smoke` (10x shorter simulated window, for CI),
 // `--workload=NAME[:k=v,...]` (replace the default pattern matrix with one
 // registered pattern), `--cc=POLICY` (run the sweep under another
-// congestion control), plus the standard `--jobs/--seed/--json/--csv`.
+// congestion control), `--host=PROFILE[:k=v,...]` (attach the host-path
+// device model and route emission through it; absent = wire-only, output
+// byte-identical to before the knob existed), plus the standard
+// `--jobs/--seed/--json/--csv`.
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench/common.h"
+#include "host/host_config.h"
+#include "host/host_device.h"
 #include "runner/runner.h"
 #include "telemetry/metric_registry.h"
 #include "workload/sim_host.h"
+#include "workload/verbs_host.h"
 #include "workload/workload.h"
 
 using namespace dcqcn;
@@ -50,41 +56,77 @@ std::vector<WorkloadCase> DefaultCases() {
 }
 
 runner::TrialSpec WorkloadTrial(const WorkloadCase& c, Time duration,
-                                runner::CcSelection cc) {
+                                runner::CcSelection cc,
+                                host::HostPathConfig host_cfg) {
   runner::TrialSpec spec;
   spec.name = c.name;
   const workload::WorkloadSpec wspec = workload::ParseWorkloadSpec(c.spec);
   DCQCN_CHECK(wspec.ok);
-  spec.run = [c, wspec, duration, cc](const runner::TrialContext& ctx) {
+  spec.run = [c, wspec, duration, cc,
+              host_cfg](const runner::TrialContext& ctx) {
     Network net(ctx.seed);
     // 32 ToRs / 512 hosts — the ext_scale headline shape.
     const ClosShape shape{.pods = 8, .tors_per_pod = 4, .leaves_per_pod = 4,
                           .spines = 8, .hosts_per_tor = 16};
-    const ClosTopology topo = BuildClos(net, shape, bench::CcTopo(cc.mode));
+    TopologyOptions topt = bench::CcTopo(cc.mode);
+    topt.nic_config.host_path = host_cfg;
+    const ClosTopology topo = BuildClos(net, shape, topt);
     std::vector<RdmaNic*> hosts;
     for (const auto& per_tor : topo.hosts_by_tor) {
       hosts.insert(hosts.end(), per_tor.begin(), per_tor.end());
     }
 
-    workload::SimWorkloadHost whost(net, hosts, cc.mode, cc.policy);
     // Pattern randomness comes from a stream distinct from the network's
     // own (RED marking etc.), derived from the per-trial seed.
     std::unique_ptr<workload::WorkloadPattern> pattern =
         workload::CreateWorkloadPattern(
             wspec, runner::DeriveTrialSeed(ctx.seed, 0x3a11));
-    whost.Begin(*pattern);
+    // With --host, emission runs through each source's HostPathDevice
+    // (verbs SQ / doorbells / PCIe / context caches); without it, this is
+    // the exact pre-host-path wire-only path.
+    workload::SimWorkloadHost whost(net, hosts, cc.mode, cc.policy);
+    std::unique_ptr<workload::VerbsWorkloadHost> vhost;
+    if (host_cfg.enabled) {
+      vhost = std::make_unique<workload::VerbsWorkloadHost>(net, hosts,
+                                                            cc.mode,
+                                                            cc.policy);
+      vhost->Begin(*pattern);
+    } else {
+      whost.Begin(*pattern);
+    }
     const uint64_t events = net.eq().RunUntil(duration);
+    const workload::WorkloadMetrics& m =
+        host_cfg.enabled ? vhost->metrics() : whost.metrics();
 
     runner::TrialResult r;
     r.name = c.name;
-    workload::FillTrialResult(whost.metrics(), &r);
+    workload::FillTrialResult(m, &r);
     r.counters["events"] = static_cast<int64_t>(events);
     r.counters["hosts"] = static_cast<int64_t>(hosts.size());
     r.counters["pause_frames"] = net.TotalPauseFramesSent();
     r.counters["drops"] = net.TotalDrops();
     r.metrics["sim_ms"] = ToMilliseconds(duration);
     telemetry::MetricRegistry reg;
-    workload::ExportMetrics(whost.metrics(), &reg);
+    workload::ExportMetrics(m, &reg);
+    if (host_cfg.enabled) {
+      // Aggregate host-path counters across the 512 devices (per-node
+      // host.* rows live in the telemetry path; here totals suffice).
+      int64_t posted = 0, doorbells = 0, stalls = 0;
+      int64_t qp_miss = 0, qp_look = 0;
+      for (RdmaNic* h : hosts) {
+        const host::HostPathDevice* d = h->host_path();
+        posted += d->stats().wr_posted;
+        doorbells += d->stats().doorbells;
+        stalls += d->stats().sq_stalls;
+        qp_miss += d->qp_cache().misses();
+        qp_look += d->qp_cache().lookups();
+      }
+      r.counters["host_wr_posted"] = posted;
+      r.counters["host_doorbells"] = doorbells;
+      r.counters["host_sq_stalls"] = stalls;
+      r.counters["host_qp_misses"] = qp_miss;
+      r.counters["host_qp_lookups"] = qp_look;
+    }
     r.registry = reg.Snapshot();
     return r;
   };
@@ -121,10 +163,14 @@ int main(int argc, char** argv) {
   const Time duration = smoke ? Microseconds(200) : Milliseconds(2);
   const runner::CcSelection cc =
       runner::ResolveCc(cli.cc, TransportMode::kRdmaDcqcn);
+  host::HostPathConfig host_cfg;  // default: disabled (wire-only)
+  if (!cli.host.empty()) {
+    host_cfg = host::MakeHostPathConfig(host::ParseHostSpec(cli.host));
+  }
   std::vector<runner::TrialSpec> matrix;
   matrix.reserve(cases.size());
   for (const WorkloadCase& c : cases) {
-    matrix.push_back(WorkloadTrial(c, duration, cc));
+    matrix.push_back(WorkloadTrial(c, duration, cc, host_cfg));
   }
 
   runner::RunnerOptions opt;
@@ -134,9 +180,10 @@ int main(int argc, char** argv) {
       runner::RunTrials(matrix, opt);
 
   std::printf("Extension: structured workloads on the 32-ToR/512-host Clos "
-              "(jobs=%d%s%s%s)\n\n",
+              "(jobs=%d%s%s%s%s%s)\n\n",
               cli.jobs, smoke ? ", smoke" : "",
-              cli.cc.empty() ? "" : ", cc=", cli.cc.c_str());
+              cli.cc.empty() ? "" : ", cc=", cli.cc.c_str(),
+              cli.host.empty() ? "" : ", host=", cli.host.c_str());
   std::printf("%-18s %8s %8s %8s %9s %9s %8s %6s %10s\n", "pattern",
               "started", "compl", "inflight", "fct_p50", "fct_p90",
               "slow_p50", "iters", "iter_p50us");

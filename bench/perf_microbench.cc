@@ -8,6 +8,8 @@
 #include "core/rp.h"
 #include "fluid/fluid_model.h"
 #include "fluid/sweep.h"
+#include "host/host_device.h"
+#include "host/lru_cache.h"
 #include "net/topology.h"
 #include "runner/runner.h"
 #include "sim/event_queue.h"
@@ -334,6 +336,45 @@ void BM_WorkloadEmit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WorkloadEmit);
+
+// Host-path device pipeline: post -> doorbell batch -> PCIe/cache charges
+// -> launch event, 64 WRs per iteration on one warm QP (all cache hits).
+// Guards the per-WR cost of the src/host/ frontier arithmetic + event
+// scheduling.
+void BM_HostDoorbell(benchmark::State& state) {
+  EventQueue eq;
+  host::HostPathConfig cfg;
+  cfg.enabled = true;
+  cfg.sq_depth = 1 << 20;  // never backlog: measure the pipeline itself
+  cfg.doorbell_batch = 8;
+  host::HostPathDevice dev(&eq, cfg, /*node_id=*/0);
+  dev.CreateQp(0);
+  int64_t launched = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      dev.Post(0, host::Verb::kWrite, 4096,
+               [&launched] { ++launched; return true; });
+    }
+    eq.RunUntil(eq.Now() + Milliseconds(1));  // drain every launch event
+  }
+  benchmark::DoNotOptimize(launched);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_HostDoorbell);
+
+// QP context cache under churn: round-robin over 128 keys. Arg is the
+// capacity — 64 = the LRU worst case (every lookup misses + evicts),
+// 256 = steady-state all-hit. Guards the O(1) dense-LRU hot path.
+void BM_QpCacheChurn(benchmark::State& state) {
+  host::LruCtxCache cache(static_cast<int>(state.range(0)));
+  int key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Touch(key));
+    key = (key + 1) & 127;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QpCacheChurn)->Arg(64)->Arg(256);
 
 }  // namespace
 }  // namespace dcqcn

@@ -15,6 +15,10 @@
 //                               NAME[:key=val,...] (e.g. incast:fanin=16 or
 //                               allreduce-ring:nodes=8,kb=4096); composes
 //                               with --cc
+//     --host=SPEC               attach the host-path device model to every
+//                               NIC and route --workload emission through
+//                               it, PROFILE[:key=val,...] (e.g. default or
+//                               tiny-cache:qp_cache=8); requires --workload
 //     --ms=D                    simulated milliseconds (default 30)
 //     --seed=S                  RNG seed (default 1)
 //     --no-pfc                  disable PFC (lossy fabric)
@@ -55,6 +59,7 @@ struct Args {
   int pairs = 12;
   double poisson_gbps = 0;
   std::string workload;  // empty = default pairs+poisson drivers
+  std::string host;      // empty = no host-path device model
   int ms = 30;
   uint64_t seed = 1;
   bool pfc = true;
@@ -86,6 +91,8 @@ bool Parse(int argc, char** argv, Args* a) {
       a->poisson_gbps = std::atof(v);
     } else if (const char* v = val("--workload=")) {
       a->workload = v;
+    } else if (const char* v = val("--host=")) {
+      a->host = v;
     } else if (const char* v = val("--ms=")) {
       a->ms = std::atoi(v);
     } else if (const char* v = val("--seed=")) {
@@ -137,6 +144,26 @@ int main(int argc, char** argv) {
   }
   const TransportMode cc_mode = CcPolicyInfoById(cc_policy).mode;
 
+  // --host: validate the spec up front; the config lands in every NIC via
+  // TopologyOptions below, and emission is routed through VerbsWorkloadHost.
+  host::HostPathConfig host_cfg;
+  if (!args.host.empty()) {
+    const host::HostSpec hspec = host::ParseHostSpec(args.host);
+    const std::string herr = host::CheckHostSpec(hspec);
+    if (!herr.empty()) {
+      std::fprintf(stderr, "bad --host '%s': %s\n", args.host.c_str(),
+                   herr.c_str());
+      return 1;
+    }
+    host_cfg = host::MakeHostPathConfig(hspec);
+    if (host_cfg.enabled && args.workload.empty()) {
+      std::fprintf(stderr,
+                   "--host models workload emission; combine it with "
+                   "--workload=SPEC\n");
+      return 1;
+    }
+  }
+
   Network net(args.seed);
   // A deep ring (1M records, ~40 MB) so multi-ms runs keep their rare
   // events (fault markers, early PAUSE edges) alongside the dense ones.
@@ -152,6 +179,7 @@ int main(int argc, char** argv) {
     opt.switch_config.pfc_pause_refresh = Microseconds(200);
     opt.nic_config.pfc_pause_expiry = Microseconds(840);
   }
+  opt.nic_config.host_path = host_cfg;
 
   std::vector<RdmaNic*> hosts;
   std::vector<SharedBufferSwitch*> spines;
@@ -177,6 +205,8 @@ int main(int argc, char** argv) {
   std::unique_ptr<PoissonArrivals> poisson;
   std::unique_ptr<workload::WorkloadPattern> wl_pattern;
   std::unique_ptr<workload::SimWorkloadHost> wl_host;
+  std::unique_ptr<workload::VerbsWorkloadHost> verbs_host;
+  const workload::WorkloadMetrics* wl_metrics = nullptr;
   if (!args.workload.empty()) {
     // Registry-driven traffic: any --workload pattern over the same hosts,
     // flows stamped with the --cc policy.
@@ -194,9 +224,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     wl_pattern = workload::CreateWorkloadPattern(spec, args.seed);
-    wl_host = std::make_unique<workload::SimWorkloadHost>(net, hosts, cc_mode,
-                                                          cc_policy);
-    wl_host->Begin(*wl_pattern);
+    if (host_cfg.enabled) {
+      verbs_host = std::make_unique<workload::VerbsWorkloadHost>(
+          net, hosts, cc_mode, cc_policy);
+      verbs_host->Begin(*wl_pattern);
+      wl_metrics = &verbs_host->metrics();
+    } else {
+      wl_host = std::make_unique<workload::SimWorkloadHost>(net, hosts,
+                                                            cc_mode,
+                                                            cc_policy);
+      wl_host->Begin(*wl_pattern);
+      wl_metrics = &wl_host->metrics();
+    }
   } else {
     traffic = std::make_unique<BenchmarkTraffic>(net, hosts, bopt);
     traffic->Begin();
@@ -230,12 +269,13 @@ int main(int argc, char** argv) {
 
   net.RunFor(static_cast<Time>(args.ms) * kMillisecond);
 
-  if (wl_host != nullptr) {
-    const workload::WorkloadMetrics& m = wl_host->metrics();
-    std::printf("scenario: %s, %zu hosts, mode=%s, workload=%s, %d ms, "
-                "pfc=%s\n\n",
+  if (wl_metrics != nullptr) {
+    const workload::WorkloadMetrics& m = *wl_metrics;
+    std::printf("scenario: %s, %zu hosts, mode=%s, workload=%s, ",
                 args.topo.c_str(), hosts.size(), args.mode.c_str(),
-                args.workload.c_str(), args.ms, args.pfc ? "on" : "OFF");
+                args.workload.c_str());
+    if (host_cfg.enabled) std::printf("host=%s, ", args.host.c_str());
+    std::printf("%d ms, pfc=%s\n\n", args.ms, args.pfc ? "on" : "OFF");
     std::printf("workload: started %lld, completed %lld, in flight %lld, "
                 "skipped %lld\n",
                 static_cast<long long>(m.started),
@@ -246,6 +286,29 @@ int main(int argc, char** argv) {
     PrintCdf("fct (us)", m.fct_us);
     PrintCdf("fct slowdown", m.slowdown);
     PrintCdf("iteration (us)", m.iteration_us);
+    if (host_cfg.enabled) {
+      // Host-path totals across all NICs (per-node detail is in the
+      // host.* telemetry namespace).
+      int64_t posted = 0, doorbells = 0, stalls = 0, qp_miss = 0, qp_look = 0;
+      for (RdmaNic* h : hosts) {
+        const host::HostPathDevice* d = h->host_path();
+        posted += d->stats().wr_posted;
+        doorbells += d->stats().doorbells;
+        stalls += d->stats().sq_stalls;
+        qp_miss += d->qp_cache().misses();
+        qp_look += d->qp_cache().lookups();
+      }
+      std::printf("host path: posted %lld, doorbells %lld, sq stalls %lld, "
+                  "qp-cache miss %.1f%% (%lld/%lld)\n",
+                  static_cast<long long>(posted),
+                  static_cast<long long>(doorbells),
+                  static_cast<long long>(stalls),
+                  qp_look > 0 ? 100.0 * static_cast<double>(qp_miss) /
+                                    static_cast<double>(qp_look)
+                              : 0.0,
+                  static_cast<long long>(qp_miss),
+                  static_cast<long long>(qp_look));
+    }
   } else {
     std::printf("scenario: %s, %zu hosts, mode=%s, incast=%d, pairs=%d, "
                 "poisson=%.0fG, %d ms, pfc=%s\n\n",

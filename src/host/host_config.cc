@@ -1,0 +1,180 @@
+#include "host/host_config.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace dcqcn {
+namespace host {
+
+namespace {
+
+// The `--host` key set (CheckHostSpec and MakeHostPathConfig must agree).
+const char* const kKnownKeys[] = {
+    "sq_depth",  "doorbell_batch", "flush_ns",   "doorbell_ns", "pcie_gbps",
+    "burst_kb",  "desc_bytes",     "desc_ns",    "cqe_ns",      "qp_cache",
+    "mr_cache",  "qp_miss_us",     "mr_miss_us", "ctx_bytes",   "verb",
+};
+
+bool KnownKey(const std::string& key) {
+  for (const char* k : kKnownKeys) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
+// Profile bases. "off" stays disabled; everything else enables the device.
+bool ProfileBase(const std::string& name, HostPathConfig* cfg) {
+  *cfg = HostPathConfig{};
+  if (name == "off") return true;
+  if (name == "default") {
+    cfg->enabled = true;
+    return true;
+  }
+  if (name == "tiny-cache") {
+    cfg->enabled = true;
+    cfg->qp_cache_entries = 8;
+    cfg->mr_cache_entries = 16;
+    return true;
+  }
+  return false;
+}
+
+int64_t ParseInt(const std::string& v) {
+  char* end = nullptr;
+  const int64_t x = std::strtoll(v.c_str(), &end, 10);
+  DCQCN_CHECK(end != nullptr && *end == '\0' && !v.empty());
+  return x;
+}
+
+double ParseDouble(const std::string& v) {
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  DCQCN_CHECK(end != nullptr && *end == '\0' && !v.empty());
+  return x;
+}
+
+}  // namespace
+
+HostSpec ParseHostSpec(const std::string& text) {
+  HostSpec spec;
+  if (text.empty()) {
+    spec.ok = false;
+    spec.error = "empty host spec";
+    return spec;
+  }
+  const size_t colon = text.find(':');
+  spec.name = text.substr(0, colon);
+  if (spec.name.empty()) {
+    spec.ok = false;
+    spec.error = "host spec has no profile name";
+    return spec;
+  }
+  if (colon == std::string::npos) return spec;
+
+  const std::string rest = text.substr(colon + 1);
+  size_t pos = 0;
+  while (pos <= rest.size()) {
+    const size_t comma = rest.find(',', pos);
+    const std::string clause =
+        rest.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= clause.size()) {
+      spec.ok = false;
+      spec.error = "bad key=val clause '" + clause + "' in host spec";
+      return spec;
+    }
+    spec.params[clause.substr(0, eq)] = clause.substr(eq + 1);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return spec;
+}
+
+std::vector<std::string> HostProfileNames() {
+  return {"off", "default", "tiny-cache"};
+}
+
+std::string CheckHostSpec(const HostSpec& spec) {
+  if (!spec.ok) return spec.error;
+  HostPathConfig scratch;
+  if (!ProfileBase(spec.name, &scratch)) {
+    std::string names;
+    for (const std::string& n : HostProfileNames()) {
+      if (!names.empty()) names += ", ";
+      names += n;
+    }
+    return "unknown --host profile '" + spec.name + "' (registered: " + names +
+           ")";
+  }
+  for (const auto& kv : spec.params) {
+    if (!KnownKey(kv.first)) {
+      return "unknown --host key '" + kv.first + "'";
+    }
+  }
+  return "";
+}
+
+HostPathConfig MakeHostPathConfig(const HostSpec& spec) {
+  DCQCN_CHECK(spec.ok);
+  HostPathConfig cfg;
+  DCQCN_CHECK(ProfileBase(spec.name, &cfg));  // unknown --host profile
+  for (const auto& kv : spec.params) {
+    const std::string& k = kv.first;
+    const std::string& v = kv.second;
+    if (k == "sq_depth") {
+      cfg.sq_depth = static_cast<int>(ParseInt(v));
+    } else if (k == "doorbell_batch") {
+      cfg.doorbell_batch = static_cast<int>(ParseInt(v));
+    } else if (k == "flush_ns") {
+      cfg.doorbell_flush = Nanoseconds(ParseInt(v));
+    } else if (k == "doorbell_ns") {
+      cfg.doorbell_latency = Nanoseconds(ParseInt(v));
+    } else if (k == "pcie_gbps") {
+      cfg.pcie_rate = Gbps(ParseDouble(v));
+    } else if (k == "burst_kb") {
+      cfg.pcie_burst = ParseInt(v) * kKiB;
+    } else if (k == "desc_bytes") {
+      cfg.desc_bytes = ParseInt(v);
+    } else if (k == "desc_ns") {
+      cfg.desc_fetch_latency = Nanoseconds(ParseInt(v));
+    } else if (k == "cqe_ns") {
+      cfg.cqe_latency = Nanoseconds(ParseInt(v));
+    } else if (k == "qp_cache") {
+      cfg.qp_cache_entries = static_cast<int>(ParseInt(v));
+    } else if (k == "mr_cache") {
+      cfg.mr_cache_entries = static_cast<int>(ParseInt(v));
+    } else if (k == "qp_miss_us") {
+      cfg.qp_miss_penalty = static_cast<Time>(ParseDouble(v) * kMicrosecond);
+    } else if (k == "mr_miss_us") {
+      cfg.mr_miss_penalty = static_cast<Time>(ParseDouble(v) * kMicrosecond);
+    } else if (k == "ctx_bytes") {
+      cfg.ctx_fetch_bytes = ParseInt(v);
+    } else if (k == "verb") {
+      if (v == "write") {
+        cfg.workload_verb = Verb::kWrite;
+      } else if (v == "read") {
+        cfg.workload_verb = Verb::kRead;
+      } else if (v == "send") {
+        cfg.workload_verb = Verb::kSend;
+      } else {
+        DCQCN_CHECK(false);  // verb must be write|read|send
+      }
+    } else {
+      DCQCN_CHECK(false);  // unknown --host key (CheckHostSpec catches first)
+    }
+  }
+  DCQCN_CHECK(cfg.sq_depth >= 1);
+  DCQCN_CHECK(cfg.doorbell_batch >= 1);
+  DCQCN_CHECK(cfg.doorbell_flush >= 0);
+  DCQCN_CHECK(cfg.doorbell_latency >= 0);
+  DCQCN_CHECK(cfg.pcie_rate > 0);
+  DCQCN_CHECK(cfg.pcie_burst > 0);
+  DCQCN_CHECK(cfg.qp_cache_entries >= 1);
+  DCQCN_CHECK(cfg.mr_cache_entries >= 1);
+  return cfg;
+}
+
+}  // namespace host
+}  // namespace dcqcn

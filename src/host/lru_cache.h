@@ -1,0 +1,158 @@
+// Bounded LRU context cache with deterministic hit/miss accounting.
+//
+// Models an on-NIC context table (QP contexts, MR translation entries)
+// backed by host-memory ICM: a Touch() is the lookup the device does per
+// work request; a miss is what costs an ICM fetch over PCIe
+// (HostPathConfig::{qp,mr}_miss_penalty). Capacity is the whole point —
+// once the active working set exceeds it, a round-robin access pattern
+// turns EVERY lookup into a miss (the LRU worst case), which is the
+// RDCA-style last-mile cliff bench/ext_hostpath sweeps.
+//
+// Implementation: keys are small non-negative ints (flow/QP ids), so the
+// key -> node map is a dense vector, and the recency list is an embedded
+// doubly-linked list over a capacity-sized node array with an intrusive
+// free list. O(1) Touch with no hashing and no steady-state allocation
+// (the key map grows once per new high key). Counter closure invariants
+// (hits + misses == lookups, misses == inserts, inserts - evictions ==
+// size) are asserted by tests/host_cache_property_test.cc against a
+// sorted-vector reference model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dcqcn {
+namespace host {
+
+class LruCtxCache {
+ public:
+  explicit LruCtxCache(int capacity) : capacity_(capacity) {
+    DCQCN_CHECK(capacity >= 1);
+    nodes_.resize(static_cast<size_t>(capacity));
+    // Thread the free list through the node array.
+    for (int i = 0; i < capacity; ++i) {
+      nodes_[static_cast<size_t>(i)].next = i + 1 < capacity ? i + 1 : -1;
+    }
+    free_head_ = 0;
+  }
+
+  // Looks up `key`, making it most-recently-used. Returns true on a hit;
+  // on a miss the key is inserted, evicting the least-recently-used entry
+  // if the cache is full.
+  bool Touch(int key) {
+    DCQCN_CHECK(key >= 0);
+    if (static_cast<size_t>(key) >= pos_.size()) {
+      pos_.resize(static_cast<size_t>(key) + 1, -1);
+    }
+    const int32_t node = pos_[static_cast<size_t>(key)];
+    if (node >= 0) {
+      ++hits_;
+      MoveToFront(node);
+      return true;
+    }
+    ++misses_;
+    ++inserts_;
+    int32_t slot;
+    if (free_head_ >= 0) {
+      slot = free_head_;
+      free_head_ = nodes_[static_cast<size_t>(slot)].next;
+      ++size_;
+    } else {
+      // Evict the LRU tail and reuse its node in place (size unchanged).
+      slot = tail_;
+      DCQCN_CHECK(slot >= 0);
+      pos_[static_cast<size_t>(nodes_[static_cast<size_t>(slot)].key)] = -1;
+      ++evictions_;
+      Unlink(slot);
+    }
+    Node& n = nodes_[static_cast<size_t>(slot)];
+    n.key = key;
+    pos_[static_cast<size_t>(key)] = slot;
+    PushFront(slot);
+    return false;
+  }
+
+  // Drops `key` if cached (a destroyed QP context); no recency effect
+  // otherwise. Returns true when something was erased.
+  bool Erase(int key) {
+    if (key < 0 || static_cast<size_t>(key) >= pos_.size()) return false;
+    const int32_t node = pos_[static_cast<size_t>(key)];
+    if (node < 0) return false;
+    pos_[static_cast<size_t>(key)] = -1;
+    Unlink(node);
+    nodes_[static_cast<size_t>(node)].next = free_head_;
+    free_head_ = node;
+    --size_;
+    ++erases_;
+    return true;
+  }
+
+  bool Contains(int key) const {
+    return key >= 0 && static_cast<size_t>(key) < pos_.size() &&
+           pos_[static_cast<size_t>(key)] >= 0;
+  }
+
+  int capacity() const { return capacity_; }
+  int size() const { return size_; }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t lookups() const { return hits_ + misses_; }
+  int64_t inserts() const { return inserts_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t erases() const { return erases_; }
+
+ private:
+  struct Node {
+    int key = -1;
+    int32_t prev = -1;
+    int32_t next = -1;
+  };
+
+  void Unlink(int32_t node) {
+    Node& n = nodes_[static_cast<size_t>(node)];
+    if (n.prev >= 0) {
+      nodes_[static_cast<size_t>(n.prev)].next = n.next;
+    } else {
+      head_ = n.next;
+    }
+    if (n.next >= 0) {
+      nodes_[static_cast<size_t>(n.next)].prev = n.prev;
+    } else {
+      tail_ = n.prev;
+    }
+    n.prev = n.next = -1;
+  }
+
+  void PushFront(int32_t node) {
+    Node& n = nodes_[static_cast<size_t>(node)];
+    n.prev = -1;
+    n.next = head_;
+    if (head_ >= 0) nodes_[static_cast<size_t>(head_)].prev = node;
+    head_ = node;
+    if (tail_ < 0) tail_ = node;
+  }
+
+  void MoveToFront(int32_t node) {
+    if (head_ == node) return;
+    Unlink(node);
+    PushFront(node);
+  }
+
+  const int capacity_;
+  int size_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> pos_;  // key -> node index (-1 = absent)
+  int32_t head_ = -1;         // MRU
+  int32_t tail_ = -1;         // LRU
+  int32_t free_head_ = -1;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t inserts_ = 0;
+  int64_t evictions_ = 0;
+  int64_t erases_ = 0;
+};
+
+}  // namespace host
+}  // namespace dcqcn

@@ -1,0 +1,62 @@
+// PCIe bandwidth budget: a byte-granularity token bucket shared by every
+// QP of one host-path device (Snippet-2 shape: descriptor fetches, ICM
+// context fetches, payload DMA and CQE writes all draw from one budget).
+//
+// Deterministic and event-free: Acquire() is pure frontier arithmetic — it
+// returns the time the requested bytes have crossed the bus, never earlier
+// than the request time, with idle periods accumulating up to `burst`
+// bytes of credit. Total serialized wire time is accounted in busy_ps()
+// (the host.pcie_busy_ps telemetry counter), so occupancy over a window is
+// busy_ps / window.
+#pragma once
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace dcqcn {
+namespace host {
+
+class PcieBus {
+ public:
+  PcieBus(Rate rate, Bytes burst) : rate_(rate), burst_(burst) {
+    DCQCN_CHECK(rate > 0);
+    DCQCN_CHECK(burst > 0);
+  }
+
+  // Charges `bytes` against the budget at time `now` (>= the previous
+  // call's `now` is NOT required; the frontier keeps its own order).
+  // Returns the completion time of the transfer.
+  Time Acquire(Bytes bytes, Time now) {
+    DCQCN_CHECK(bytes >= 0);
+    if (bytes == 0) return std::max(now, frontier_);
+    // Credit for idle time since the frontier, capped at one burst: a bus
+    // idle for >= burst's worth of time absorbs up to `burst` bytes with no
+    // added delay; sustained load is serialized at `rate`.
+    const Time busy = TransmissionTime(bytes, rate_);
+    frontier_ = std::max(frontier_, now - CreditTime()) + busy;
+    busy_ps_ += busy;
+    bytes_ += bytes;
+    return std::max(now, frontier_);
+  }
+
+  Rate rate() const { return rate_; }
+  Bytes burst() const { return burst_; }
+  Time busy_ps() const { return busy_ps_; }
+  Bytes bytes() const { return bytes_; }
+
+ private:
+  Time CreditTime() const { return TransmissionTime(burst_, rate_); }
+
+  const Rate rate_;
+  const Bytes burst_;
+  // Time at which all previously acquired bytes have crossed the bus.
+  // May lag `now` by up to one burst's worth of credit.
+  Time frontier_ = 0;
+  Time busy_ps_ = 0;
+  Bytes bytes_ = 0;
+};
+
+}  // namespace host
+}  // namespace dcqcn

@@ -5,6 +5,7 @@
 #include "core/params.h"
 #include "core/qcn.h"
 #include "core/timely.h"
+#include "host/host_config.h"
 #include "net/packet.h"
 
 namespace dcqcn {
@@ -50,6 +51,10 @@ struct NicConfig {
   // without PFC is catastrophic (Fig. 18). Set false for packet-granularity
   // go-back-N (later NICs).
   bool go_back_zero = true;
+  // Host-path device model (verbs SQ, doorbells, PCIe, QP/MR caches;
+  // src/host/). Disabled by default: no device is built and the NIC behaves
+  // exactly as before this knob existed.
+  host::HostPathConfig host_path;
 };
 
 }  // namespace dcqcn

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "host/host_device.h"
+
 namespace dcqcn {
 
 RdmaNic::RdmaNic(EventQueue* eq, int id, NicConfig config, QueuePool* pool)
@@ -10,6 +12,10 @@ RdmaNic::RdmaNic(EventQueue* eq, int id, NicConfig config, QueuePool* pool)
   config_.params.Validate();
   ctrl_out_.SetPool(pool);
   pfc_out_.SetPool(pool);
+  if (config_.host_path.enabled) {
+    host_path_ = std::make_unique<host::HostPathDevice>(
+        eq_, config_.host_path, id);
+  }
 }
 
 RdmaNic::~RdmaNic() {
@@ -437,6 +443,9 @@ void RdmaNic::StopPauseStorm(int priority) {
 void RdmaNic::SetControlDelay(Time delay) {
   DCQCN_CHECK(delay >= 0);
   control_delay_ = delay;
+  // A slow host's stall hits its own send path too: stretch the host-path
+  // doorbell drain by the same delay (no-op without a device).
+  if (host_path_ != nullptr) host_path_->SetDrainDelay(delay);
 }
 
 void RdmaNic::SendControl(PacketType type, const RcvFlow& rcv, int flow_id,

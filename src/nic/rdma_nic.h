@@ -38,6 +38,9 @@
 #include "telemetry/event_trace.h"
 
 namespace dcqcn {
+namespace host {
+class HostPathDevice;
+}  // namespace host
 
 struct NicCounters {
   int64_t data_packets_sent = 0;
@@ -119,9 +122,15 @@ class RdmaNic : public Node {
 
   // Slow receiver: every control packet this NIC generates (ACK/NAK/CNP) is
   // held for `delay` before entering the transmit queue, modeling a host
-  // whose response pipeline has stalled. 0 restores normal operation.
+  // whose response pipeline has stalled. 0 restores normal operation. When a
+  // host-path device is attached, the same delay also stretches its
+  // doorbell drain (a slow host is slow on both sides).
   void SetControlDelay(Time delay);
   Time control_delay() const { return control_delay_; }
+
+  // Host-path device model (built when config.host_path.enabled); null
+  // otherwise. See src/host/host_device.h.
+  host::HostPathDevice* host_path() const { return host_path_.get(); }
 
  private:
   // Sanity bound for the dense tables: flow ids are small counters handed
@@ -202,6 +211,7 @@ class RdmaNic : public Node {
   Time storm_refresh_[kNumPriorities] = {};
   EventHandle storm_timer_[kNumPriorities];
   Time control_delay_ = 0;
+  std::unique_ptr<host::HostPathDevice> host_path_;
   size_t rr_next_ = 0;
   EventHandle wakeup_;
   Time wakeup_time_ = 0;

@@ -10,6 +10,7 @@
 
 #include "cc/cc_policy.h"
 #include "common/check.h"
+#include "host/host_config.h"
 #include "workload/workload.h"
 #include "runner/serialize.h"
 
@@ -169,7 +170,8 @@ CliOptions ParseCli(int argc, char** argv) {
     cli.ok = false;
     cli.error = msg +
                 " (flags: --jobs N --seed S --json PATH --csv PATH"
-                " --trace PREFIX --cc POLICY --workload NAME[:k=v,...])";
+                " --trace PREFIX --cc POLICY --workload NAME[:k=v,...]"
+                " --host PROFILE[:k=v,...])";
     return cli;
   };
 
@@ -234,6 +236,12 @@ CliOptions ParseCli(int argc, char** argv) {
                     "' (registered: " + names + ")");
       }
       cli.workload = value;
+    } else if (arg == "--host") {
+      if (!need_value()) return fail("--host requires a profile spec");
+      const host::HostSpec spec = host::ParseHostSpec(value);
+      const std::string err = host::CheckHostSpec(spec);
+      if (!err.empty()) return fail(err);
+      cli.host = value;
     } else {
       return fail("unknown flag '" + arg + "'");
     }

@@ -123,6 +123,10 @@ std::vector<TrialResult> RunTrials(const std::vector<TrialSpec>& matrix,
 //                 rejected with the registered names listed if the name is
 //                 unknown or the spec fails to parse. Empty = the bench's
 //                 default pattern matrix.
+//   --host SPEC   host-path device model, `PROFILE[:key=val,...]` over the
+//                 profiles in src/host/host_config.h; rejected with the
+//                 profile list if unknown. Empty = no host-path model (the
+//                 wire-only behavior every run had before the knob existed).
 // Both `--flag value` and `--flag=value` are accepted.
 struct CliOptions {
   int jobs = 1;
@@ -132,6 +136,7 @@ struct CliOptions {
   std::string trace_prefix;   // empty = tracing off
   std::string cc;             // empty = bench default policy
   std::string workload;       // empty = bench default pattern matrix
+  std::string host;           // empty = no host-path device model
   bool ok = true;
   std::string error;  // set when !ok
 };

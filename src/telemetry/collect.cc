@@ -1,5 +1,7 @@
 #include "telemetry/collect.h"
 
+#include "host/host_device.h"
+
 namespace dcqcn {
 namespace telemetry {
 
@@ -57,6 +59,11 @@ void CollectNetworkMetrics(const Network& net, MetricRegistry* registry) {
     registry->Counter("nic.pause_frames_sent", node) += c.pause_frames_sent;
     registry->Counter("nic.out_of_order_packets", node) +=
         c.out_of_order_packets;
+    // Host-path device model, when attached (host.* namespace; absent
+    // entirely on wire-only runs so snapshots stay byte-identical).
+    if (nic->host_path() != nullptr) {
+      host::ExportHostMetrics(*nic->host_path(), registry);
+    }
   }
 
   registry->Counter("net.pause_frames_sent") += net.TotalPauseFramesSent();

@@ -1,4 +1,4 @@
-#include "transport/host_model.h"
+#include "transport/fig1_host_curves.h"
 
 #include <algorithm>
 

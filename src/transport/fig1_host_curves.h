@@ -1,6 +1,13 @@
 // Analytic host cost model for the Fig. 1 motivation experiment
 // ("Conventional TCP stacks perform poorly", §2.1).
 //
+// NOT the simulated host path: this file is a CLOSED-FORM TCP-vs-RDMA
+// throughput/CPU/latency curve consumed only by bench/fig01_tcp_vs_rdma.
+// The event-driven verbs/doorbell/PCIe/context-cache device model that
+// actually injects host-side delays into simulations lives in src/host/
+// (host_device.h) — formerly both were called "host model", hence the
+// fig1_ prefix here.
+//
 // The paper measured two Windows servers with 40 Gbps NICs: TCP (Iperf with
 // LSO/RSS/zero-copy, 16 threads) versus RDMA (IB READ, single thread). No
 // such hardware exists here, so we model the first-order costs that produce

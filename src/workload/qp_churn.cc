@@ -1,0 +1,54 @@
+#include "workload/qp_churn.h"
+
+#include <algorithm>
+
+namespace dcqcn {
+namespace workload {
+
+QpChurnPattern::QpChurnPattern(const QpChurnOptions& opts)
+    : opts_(opts), rng_(opts.seed) {
+  DCQCN_CHECK(opts_.fanout >= 1);
+  DCQCN_CHECK(opts_.msg_bytes > 0);
+  DCQCN_CHECK(opts_.rounds >= 0);
+  DCQCN_CHECK(opts_.size_scale > 0);
+  bytes_ = std::max<Bytes>(
+      1, static_cast<Bytes>(static_cast<double>(opts_.msg_bytes) *
+                            opts_.size_scale));
+}
+
+void QpChurnPattern::Begin(WorkloadHost& host) {
+  const auto n = static_cast<int64_t>(host.num_hosts());
+  DCQCN_CHECK(n >= 2);
+  done_.assign(static_cast<size_t>(n) * static_cast<size_t>(opts_.fanout), 0);
+  for (int64_t src = 0; src < n; ++src) {
+    for (int q = 0; q < opts_.fanout; ++q) {
+      // Distinct random peer (uniform over the other n-1 hosts).
+      int64_t dst = rng_.UniformInt(0, n - 2);
+      if (dst >= src) ++dst;
+      EmitSpec e;
+      e.src = static_cast<int>(src);
+      e.dst = static_cast<int>(dst);
+      e.size_bytes = bytes_;
+      e.ecmp_salt = rng_.NextU64();
+      e.tag = static_cast<uint64_t>(src) *
+                  static_cast<uint64_t>(opts_.fanout) +
+              static_cast<uint64_t>(q);
+      if (host.LaunchFlow(e) < 0) {
+        halted_ = true;  // draining before startup finished
+        return;
+      }
+    }
+  }
+}
+
+void QpChurnPattern::OnFlowComplete(WorkloadHost& host, const FlowRecord& rec,
+                                    uint64_t tag) {
+  if (halted_) return;
+  DCQCN_CHECK(tag < done_.size());
+  const int64_t done = ++done_[static_cast<size_t>(tag)];
+  if (opts_.rounds > 0 && done >= opts_.rounds) return;  // QP retires
+  if (!host.EnqueueOnFlow(rec.spec.flow_id, bytes_)) halted_ = true;
+}
+
+}  // namespace workload
+}  // namespace dcqcn

@@ -1,0 +1,46 @@
+// Closed-loop QP churn (`--workload=qpchurn`): every host keeps `fanout`
+// warm connections to distinct random peers, each cycling fixed-size
+// messages back-to-back (complete -> re-enqueue). The aggregate wire load
+// is modest per QP, but the per-host ACTIVE QP COUNT is exactly `fanout` —
+// the knob that drives the host-path QP/MR context caches (src/host/) past
+// capacity. With `--host`, fanout <= qp_cache means warm hits; fanout >
+// qp_cache turns the near-round-robin completion order into the LRU worst
+// case (every lookup misses) and goodput collapses while the fabric idles.
+// This is the pattern bench/ext_hostpath sweeps; without --host it is just
+// a uniform closed-loop mesh.
+#pragma once
+
+#include "common/rng.h"
+#include "workload/workload.h"
+
+namespace dcqcn {
+namespace workload {
+
+struct QpChurnOptions {
+  int fanout = 8;               // warm QPs per host
+  Bytes msg_bytes = 4 * kKB;    // per-message size (pre-scale)
+  // Messages per QP including the first; 0 = cycle until the host drains.
+  int64_t rounds = 0;
+  double size_scale = 1.0;
+  uint64_t seed = 1;
+};
+
+class QpChurnPattern : public WorkloadPattern {
+ public:
+  explicit QpChurnPattern(const QpChurnOptions& opts);
+
+  const char* name() const override { return "qpchurn"; }
+  void Begin(WorkloadHost& host) override;
+  void OnFlowComplete(WorkloadHost& host, const FlowRecord& rec,
+                      uint64_t tag) override;
+
+ private:
+  QpChurnOptions opts_;
+  Rng rng_;
+  Bytes bytes_ = 0;               // msg_bytes * size_scale, >= 1
+  std::vector<int64_t> done_;     // per-QP completed messages (tag-indexed)
+  bool halted_ = false;
+};
+
+}  // namespace workload
+}  // namespace dcqcn

@@ -21,15 +21,24 @@ void SimWorkloadHost::Begin(WorkloadPattern& pattern) {
   pattern.Begin(*this);
 }
 
+int SimWorkloadHost::ReserveFlowId() { return net_.NextFlowId(); }
+
 int SimWorkloadHost::LaunchFlow(const EmitSpec& spec) {
   if (stopped_) return -1;
+  const int fid = ReserveFlowId();
+  DCQCN_CHECK(LaunchFlowWithId(spec, fid));
+  return fid;
+}
+
+bool SimWorkloadHost::LaunchFlowWithId(const EmitSpec& spec, int flow_id) {
+  if (stopped_) return false;
   DCQCN_CHECK(spec.src >= 0 && spec.src < num_hosts());
   DCQCN_CHECK(spec.dst >= 0 && spec.dst < num_hosts());
   DCQCN_CHECK(spec.src != spec.dst);
   DCQCN_CHECK(spec.size_bytes > 0);  // unbounded flows never complete
 
   FlowSpec f;
-  f.flow_id = net_.NextFlowId();
+  f.flow_id = flow_id;
   f.src_host = hosts_[static_cast<size_t>(spec.src)]->id();
   f.dst_host = hosts_[static_cast<size_t>(spec.dst)]->id();
   f.priority = spec.priority;
@@ -50,7 +59,7 @@ int SimWorkloadHost::LaunchFlow(const EmitSpec& spec) {
 
   ++metrics_.started;
   ++metrics_.in_flight;
-  return f.flow_id;
+  return true;
 }
 
 bool SimWorkloadHost::EnqueueOnFlow(int flow_id, Bytes bytes) {

@@ -33,6 +33,13 @@ class SimWorkloadHost : public WorkloadHost {
   void StopEmission() { stopped_ = true; }
   bool emission_stopped() const { return stopped_; }
 
+  // Split launch for layered hosts (VerbsWorkloadHost): reserve a real
+  // network flow id now, start the wire flow later. ReserveFlowId is just
+  // the network's id counter; LaunchFlowWithId is LaunchFlow with the id
+  // pinned, returning false instead of launching once draining started.
+  int ReserveFlowId();
+  bool LaunchFlowWithId(const EmitSpec& spec, int flow_id);
+
   // WorkloadHost seam.
   Time Now() const override { return net_.eq().Now(); }
   int num_hosts() const override { return static_cast<int>(hosts_.size()); }

@@ -9,6 +9,7 @@
 #include "workload/incast.h"
 #include "workload/pairs.h"
 #include "workload/poisson.h"
+#include "workload/qp_churn.h"
 
 namespace dcqcn {
 namespace workload {
@@ -145,6 +146,17 @@ std::vector<WorkloadPatternInfo>& MutableRegistry() {
          o.rounds = c.GetInt("rounds", 0);
          o.seed = c.seed;
          return std::make_unique<AllToAllPattern>(o);
+       }},
+      {"qpchurn",
+       [](const WorkloadConfig& c) -> std::unique_ptr<WorkloadPattern> {
+         c.CheckKeys({"fanout", "kb", "rounds"});
+         QpChurnOptions o;
+         o.fanout = static_cast<int>(c.GetInt("fanout", 8));
+         o.msg_bytes = c.GetInt("kb", 4) * kKB;
+         o.rounds = c.GetInt("rounds", 0);
+         o.size_scale = c.size_scale;
+         o.seed = c.seed;
+         return std::make_unique<QpChurnPattern>(o);
        }},
   };
   return *reg;

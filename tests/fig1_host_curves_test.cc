@@ -1,5 +1,5 @@
 // Fig. 1 host-model tests: the published shapes must hold.
-#include "transport/host_model.h"
+#include "transport/fig1_host_curves.h"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,135 @@
+// Property test for the bounded LRU context cache (src/host/lru_cache.h):
+// random touch/erase/contains streams checked against a brutally simple
+// reference model (a recency-ordered vector), across seeds and capacities,
+// plus the counter-closure invariants the host-path telemetry relies on
+// (hits + misses == lookups, misses == inserts, inserts - evictions -
+// erases == size). Mirrors the event_queue_property_test approach: the
+// reference is obviously correct, the implementation is fast, divergence is
+// a bug in the fast one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "host/lru_cache.h"
+
+namespace dcqcn {
+namespace host {
+namespace {
+
+// Reference LRU: front = most recent. O(n) everything.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(int capacity) : capacity_(capacity) {}
+
+  bool Touch(int key) {
+    auto it = std::find(keys_.begin(), keys_.end(), key);
+    if (it != keys_.end()) {
+      keys_.erase(it);
+      keys_.insert(keys_.begin(), key);
+      return true;
+    }
+    keys_.insert(keys_.begin(), key);
+    if (static_cast<int>(keys_.size()) > capacity_) keys_.pop_back();
+    return false;
+  }
+
+  bool Erase(int key) {
+    auto it = std::find(keys_.begin(), keys_.end(), key);
+    if (it == keys_.end()) return false;
+    keys_.erase(it);
+    return true;
+  }
+
+  bool Contains(int key) const {
+    return std::find(keys_.begin(), keys_.end(), key) != keys_.end();
+  }
+
+  int size() const { return static_cast<int>(keys_.size()); }
+
+ private:
+  const int capacity_;
+  std::vector<int> keys_;
+};
+
+void CheckClosure(const LruCtxCache& c) {
+  EXPECT_EQ(c.hits() + c.misses(), c.lookups());
+  EXPECT_EQ(c.misses(), c.inserts());
+  EXPECT_EQ(c.inserts() - c.evictions() - c.erases(),
+            static_cast<int64_t>(c.size()));
+  EXPECT_LE(c.size(), c.capacity());
+}
+
+TEST(LruCtxCacheProperty, MatchesReferenceAcrossSeeds) {
+  for (const int capacity : {1, 2, 7, 64}) {
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      LruCtxCache fast(capacity);
+      ReferenceLru ref(capacity);
+      Rng rng(seed * 7919 + static_cast<uint64_t>(capacity));
+      const int key_space = 3 * capacity + 2;
+      for (int op = 0; op < 5000; ++op) {
+        const int key = static_cast<int>(
+            rng.UniformInt(0, static_cast<int64_t>(key_space) - 1));
+        const int64_t kind = rng.UniformInt(0, 9);
+        if (kind < 8) {
+          EXPECT_EQ(fast.Touch(key), ref.Touch(key))
+              << "cap=" << capacity << " seed=" << seed << " op=" << op;
+        } else if (kind == 8) {
+          EXPECT_EQ(fast.Erase(key), ref.Erase(key))
+              << "cap=" << capacity << " seed=" << seed << " op=" << op;
+        } else {
+          EXPECT_EQ(fast.Contains(key), ref.Contains(key))
+              << "cap=" << capacity << " seed=" << seed << " op=" << op;
+        }
+        EXPECT_EQ(fast.size(), ref.size());
+      }
+      CheckClosure(fast);
+      EXPECT_GT(fast.lookups(), 0);
+    }
+  }
+}
+
+// Capacity is a hard bound and the eviction victim is exactly the LRU key:
+// a round-robin sweep wider than the cache misses on EVERY touch (the
+// cliff ext_hostpath sweeps), while a sweep that fits misses only once per
+// key.
+TEST(LruCtxCacheProperty, RoundRobinWorstCaseAndWarmFit) {
+  LruCtxCache thrash(8);
+  for (int round = 0; round < 50; ++round) {
+    for (int key = 0; key < 9; ++key) {
+      EXPECT_FALSE(thrash.Touch(key)) << "round=" << round << " key=" << key;
+    }
+  }
+  EXPECT_EQ(thrash.hits(), 0);
+  EXPECT_EQ(thrash.misses(), 50 * 9);
+  CheckClosure(thrash);
+
+  LruCtxCache warm(8);
+  for (int round = 0; round < 50; ++round) {
+    for (int key = 0; key < 8; ++key) {
+      EXPECT_EQ(warm.Touch(key), round > 0);
+    }
+  }
+  EXPECT_EQ(warm.misses(), 8);
+  EXPECT_EQ(warm.evictions(), 0);
+  CheckClosure(warm);
+}
+
+TEST(LruCtxCacheProperty, EraseFreesASlot) {
+  LruCtxCache c(2);
+  EXPECT_FALSE(c.Touch(0));
+  EXPECT_FALSE(c.Touch(1));
+  EXPECT_TRUE(c.Erase(0));
+  EXPECT_FALSE(c.Contains(0));
+  EXPECT_FALSE(c.Touch(2));      // reuses the freed slot, no eviction
+  EXPECT_EQ(c.evictions(), 0);
+  EXPECT_TRUE(c.Contains(1));
+  EXPECT_TRUE(c.Contains(2));
+  EXPECT_FALSE(c.Erase(5));      // never present
+  CheckClosure(c);
+}
+
+}  // namespace
+}  // namespace host
+}  // namespace dcqcn

@@ -189,8 +189,8 @@ TEST(WorkloadRegistry, TestRegisteredPatternIsLive) {
 
 TEST(WorkloadRegistry, BuiltinsRegistered) {
   const std::vector<std::string> names = WorkloadPatternNames();
-  for (const char* want :
-       {"poisson", "pairs", "incast", "allreduce-ring", "alltoall"}) {
+  for (const char* want : {"poisson", "pairs", "incast", "allreduce-ring",
+                           "alltoall", "qpchurn"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
         << want;
   }
