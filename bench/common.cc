@@ -1,8 +1,15 @@
 #include <chrono>
 #include <memory>
+#include <optional>
 
 #include "bench/common.h"
+#include "fault/fault_injector.h"
+#include "host/host_config.h"
+#include "net/shard.h"
 #include "telemetry/probes.h"
+#include "workload/sim_host.h"
+#include "workload/verbs_host.h"
+#include "workload/workload.h"
 
 namespace dcqcn {
 namespace bench {
@@ -225,57 +232,117 @@ std::vector<ScaleCase> ScaleCases(bool smoke) {
 }
 
 runner::TrialSpec ScaleTrial(const ScaleCase& c,
-                             std::vector<double>* wall_seconds,
-                             runner::CcSelection cc) {
+                             const ScaleTrialOptions& opt) {
   runner::TrialSpec spec;
   spec.name = c.name;
-  spec.run = [c, wall_seconds, cc](const runner::TrialContext& ctx) {
-    Network net(ctx.seed);
-    const ClosTopology topo = BuildClos(net, c.shape, CcTopo(cc.mode));
+  // Specs are parsed at matrix-build time (callers validated them — the
+  // benches via ParseCli, tests with literals), so trial bodies only carry
+  // plain values.
+  workload::WorkloadSpec wspec;
+  if (!opt.workload.empty()) {
+    wspec = workload::ParseWorkloadSpec(opt.workload);
+    DCQCN_CHECK(wspec.ok);
+  }
+  host::HostPathConfig host_cfg;  // default: disabled (wire-only)
+  if (!opt.host.empty()) {
+    host_cfg = host::MakeHostPathConfig(host::ParseHostSpec(opt.host));
+  }
+  std::vector<double>* wall_seconds = opt.wall_seconds;
+  const runner::CcSelection cc = opt.cc;
+  const bool use_pattern = !opt.workload.empty();
+  spec.run = [c, wall_seconds, cc, wspec, host_cfg,
+              use_pattern](const runner::TrialContext& ctx) {
+    // --shards=N selects the sharded engine; both engines sit behind the
+    // same Network surface, so everything below is engine-agnostic.
+    std::optional<Network> net_storage;
+    if (ctx.shards > 0) {
+      // A ToR plus its hosts is the smallest shard unit, so a sweep shape
+      // with fewer ToRs than --shards runs at its maximum cut. Result bytes
+      // are shard-count-invariant, which makes the clamp invisible.
+      const ShardPlan plan = MakeClosShardPlan(
+          c.shape, std::min(ctx.shards, c.shape.num_tors()));
+      DCQCN_CHECK(plan.ok);
+      net_storage.emplace(ctx.seed, plan);
+    } else {
+      net_storage.emplace(ctx.seed);
+    }
+    Network& net = *net_storage;
+    TopologyOptions topt = CcTopo(cc.mode);
+    topt.nic_config.host_path = host_cfg;
+    const ClosTopology topo = BuildClos(net, c.shape, topt);
     const std::vector<RdmaNic*> hosts = AllHosts(topo);
     const int n = static_cast<int>(hosts.size());
     const int hpt = c.shape.hosts_per_tor;
     const int num_tors = c.shape.num_tors();
 
-    // Traffic draws come from a stream distinct from the network's own
-    // (RED marking etc.) so adding a flow never perturbs wire randomness.
-    Rng traffic(runner::DeriveTrialSeed(ctx.seed, 0x5ca1e));
     struct FlowRef {
       RdmaNic* dst;
       int flow_id;
     };
     std::vector<FlowRef> flows;
-    flows.reserve(static_cast<size_t>(n) * c.flows_per_host);
-    for (int i = 0; i < n; ++i) {
-      const int tor = i / hpt;
-      for (int f = 0; f < c.flows_per_host; ++f) {
-        int dst;
-        if (f == 0) {
-          // Deterministic hpt:1 incast into the next ToR's first host —
-          // guarantees sustained congestion, so CNPs flow and every QP's
-          // alpha/rate timers stay armed (the load the timer wheel exists
-          // for).
-          dst = ((tor + 1) % num_tors) * hpt;
-        } else {
-          do {
-            dst = static_cast<int>(traffic.UniformInt(0, n - 1));
-          } while (dst / hpt == tor);
+    std::unique_ptr<workload::WorkloadPattern> pattern;
+    std::optional<workload::SimWorkloadHost> whost;
+    std::unique_ptr<workload::VerbsWorkloadHost> vhost;
+    if (use_pattern) {
+      // Structured workload instead of the built-in greedy mix: driven
+      // exactly like ext_workload (pattern randomness on its own stream,
+      // host-path emission when the device model is attached).
+      pattern = workload::CreateWorkloadPattern(
+          wspec, runner::DeriveTrialSeed(ctx.seed, 0x3a11));
+      whost.emplace(net, hosts, cc.mode, cc.policy);
+      if (host_cfg.enabled) {
+        vhost = std::make_unique<workload::VerbsWorkloadHost>(
+            net, hosts, cc.mode, cc.policy);
+        vhost->Begin(*pattern);
+      } else {
+        whost->Begin(*pattern);
+      }
+    } else {
+      // Traffic draws come from a stream distinct from the network's own
+      // (RED marking etc.) so adding a flow never perturbs wire randomness.
+      Rng traffic(runner::DeriveTrialSeed(ctx.seed, 0x5ca1e));
+      flows.reserve(static_cast<size_t>(n) * c.flows_per_host);
+      for (int i = 0; i < n; ++i) {
+        const int tor = i / hpt;
+        for (int f = 0; f < c.flows_per_host; ++f) {
+          int dst;
+          if (f == 0) {
+            // Deterministic hpt:1 incast into the next ToR's first host —
+            // guarantees sustained congestion, so CNPs flow and every QP's
+            // alpha/rate timers stay armed (the load the timer wheel exists
+            // for). The destination is in the *next* ToR, so every flow of
+            // the mix crosses a shard boundary under any ToR partition.
+            dst = ((tor + 1) % num_tors) * hpt;
+          } else {
+            do {
+              dst = static_cast<int>(traffic.UniformInt(0, n - 1));
+            } while (dst / hpt == tor);
+          }
+          FlowSpec fs;
+          fs.flow_id = net.NextFlowId();
+          fs.src_host = hosts[static_cast<size_t>(i)]->id();
+          fs.dst_host = hosts[static_cast<size_t>(dst)]->id();
+          fs.size_bytes = 0;  // unbounded: concurrent for the whole window
+          fs.mode = cc.mode;
+          fs.cc_policy = cc.policy;
+          fs.ecmp_salt = traffic.NextU64();
+          net.StartFlow(fs);
+          flows.push_back({hosts[static_cast<size_t>(dst)], fs.flow_id});
         }
-        FlowSpec fs;
-        fs.flow_id = net.NextFlowId();
-        fs.src_host = hosts[static_cast<size_t>(i)]->id();
-        fs.dst_host = hosts[static_cast<size_t>(dst)]->id();
-        fs.size_bytes = 0;  // unbounded: concurrent for the whole window
-        fs.mode = cc.mode;
-        fs.cc_policy = cc.policy;
-        fs.ecmp_salt = traffic.NextU64();
-        net.StartFlow(fs);
-        flows.push_back({hosts[static_cast<size_t>(dst)], fs.flow_id});
       }
     }
 
+    // Declarative faults from the spec (empty plan = no injector, result
+    // bytes unchanged). The injector outlives the run: installed loss
+    // profiles draw from its Rng.
+    std::optional<FaultInjector> inj;
+    if (ctx.faults != nullptr && !ctx.faults->empty()) {
+      inj.emplace(&net, *ctx.faults, ctx.seed * 0x9e3779b97f4a7c15ULL + 1);
+      inj->Arm();
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
-    const uint64_t events = net.eq().RunUntil(c.duration);
+    const uint64_t events = net.Run(c.duration);
     const auto t1 = std::chrono::steady_clock::now();
     if (wall_seconds != nullptr) {
       (*wall_seconds)[ctx.trial_index] =
@@ -295,12 +362,29 @@ runner::TrialSpec ScaleTrial(const ScaleCase& c,
     r.counters["cnps"] = net.TotalCnpsSent();
     r.counters["drops"] = net.TotalDrops();
     r.counters["pause_frames"] = net.TotalPauseFramesSent();
+    if (use_pattern) {
+      workload::FillTrialResult(
+          host_cfg.enabled ? vhost->metrics() : whost->metrics(), &r);
+    }
+    if (inj.has_value()) {
+      r.counters["faults_started"] = inj->faults_started();
+      r.counters["faults_healed"] = inj->faults_healed();
+    }
     r.metrics["sim_ms"] = ToSeconds(c.duration) * 1e3;
     r.metrics["agg_goodput_gbps"] =
         8.0 * static_cast<double>(delivered) / ToSeconds(c.duration) / 1e9;
     return r;
   };
   return spec;
+}
+
+runner::TrialSpec ScaleTrial(const ScaleCase& c,
+                             std::vector<double>* wall_seconds,
+                             runner::CcSelection cc) {
+  ScaleTrialOptions opt;
+  opt.cc = cc;
+  opt.wall_seconds = wall_seconds;
+  return ScaleTrial(c, opt);
 }
 
 void StartGreedyFlow(Network& net, RdmaNic* src, RdmaNic* dst, int flow_id,

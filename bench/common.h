@@ -129,11 +129,32 @@ struct ScaleCase {
 // window 10x for CI.
 std::vector<ScaleCase> ScaleCases(bool smoke);
 
-// `wall_seconds`, when non-null, must be pre-sized to the matrix size; the
-// trial body writes its run-loop wall time into slot trial_index (distinct
-// slots, so concurrent trials never race). `cc` selects the congestion
-// control every flow runs under (default: DCQCN, byte-identical to before
-// the axis existed).
+// Composition axes for a scale trial. Defaults reproduce the original
+// sweep byte-for-byte: DCQCN, built-in greedy incast+random mix, wire-only.
+struct ScaleTrialOptions {
+  // Congestion control every flow runs under.
+  runner::CcSelection cc = {TransportMode::kRdmaDcqcn, -1};
+  // `NAME[:k=v,...]` over the WorkloadPattern registry; non-empty replaces
+  // the built-in greedy mix with the pattern (driven exactly like
+  // ext_workload, wl_* counters in the result).
+  std::string workload;
+  // `PROFILE[:k=v,...]` host-path device spec; non-empty attaches the
+  // device model and (with a workload) routes emission through it.
+  std::string host;
+  // When non-null, must be pre-sized to the matrix size; the trial body
+  // writes its run-loop wall time into slot trial_index (distinct slots,
+  // so concurrent trials never race).
+  std::vector<double>* wall_seconds = nullptr;
+};
+
+// The trial honors TrialContext::shards (0 = default engine, N >= 1 = the
+// sharded engine via MakeClosShardPlan, clamped to the shape's ToR count —
+// byte-identical results for every N) and arms TrialContext::faults when
+// the spec carries a plan.
+runner::TrialSpec ScaleTrial(const ScaleCase& c,
+                             const ScaleTrialOptions& opt);
+
+// Back-compat shorthand for the cc-only composition.
 runner::TrialSpec ScaleTrial(
     const ScaleCase& c, std::vector<double>* wall_seconds,
     runner::CcSelection cc = {TransportMode::kRdmaDcqcn, -1});

@@ -12,9 +12,14 @@
 // `--jobs 1` and `--jobs 8` produce byte-identical files (scale_test and CI
 // verify this). Wall-clock throughput is printed to stdout only.
 //
-// Flags: `--smoke` (10x shorter simulated windows, for CI) plus the
-// standard runner flags `--jobs/--seed/--json/--csv` and `--cc=POLICY`
-// (run the whole sweep under another registered congestion control).
+// Flags: `--smoke` (10x shorter simulated windows, for CI), `--shards=N`
+// (run every trial on the sharded parallel engine with N shards — the
+// JSON/CSV bytes are identical for every N >= 1, which CI enforces with a
+// {1,2,4,8} sweep + cmp), `--workload=NAME[:k=v,...]` / `--host=PROFILE`
+// (compose a structured pattern / the host-path device model onto the
+// sweep), plus the standard runner flags `--jobs/--seed/--json/--csv` and
+// `--cc=POLICY` (run the whole sweep under another registered congestion
+// control).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -47,20 +52,28 @@ int main(int argc, char** argv) {
   std::vector<double> wall_seconds(cases.size(), 0.0);
   std::vector<runner::TrialSpec> matrix;
   matrix.reserve(cases.size());
-  const runner::CcSelection cc =
-      runner::ResolveCc(cli.cc, TransportMode::kRdmaDcqcn);
+  bench::ScaleTrialOptions topt;
+  topt.cc = runner::ResolveCc(cli.cc, TransportMode::kRdmaDcqcn);
+  topt.workload = cli.workload;
+  topt.host = cli.host;
+  topt.wall_seconds = &wall_seconds;
   for (const bench::ScaleCase& c : cases) {
-    matrix.push_back(bench::ScaleTrial(c, &wall_seconds, cc));
+    matrix.push_back(bench::ScaleTrial(c, topt));
   }
 
   runner::RunnerOptions opt;
   opt.jobs = cli.jobs;
   opt.base_seed = cli.seed;
+  opt.shards = cli.shards;
   const std::vector<runner::TrialResult> results =
       runner::RunTrials(matrix, opt);
 
   std::printf("Extension: simulator throughput on large Clos fabrics "
-              "(jobs=%d%s)\n\n", cli.jobs, smoke ? ", smoke" : "");
+              "(jobs=%d%s%s%s)\n\n", cli.jobs, smoke ? ", smoke" : "",
+              cli.shards > 0 ? ", shards=" : "",
+              cli.shards > 0
+                  ? std::to_string(cli.shards).c_str()
+                  : "");
   std::printf("%-18s %6s %6s %9s %12s %12s %11s %11s\n", "shape", "hosts",
               "flows", "sim_ms", "events", "goodput_gb", "sim_s/wall", "events/s");
   for (size_t i = 0; i < results.size(); ++i) {

@@ -10,6 +10,7 @@
 #include "fluid/sweep.h"
 #include "host/host_device.h"
 #include "host/lru_cache.h"
+#include "net/shard.h"
 #include "net/topology.h"
 #include "runner/runner.h"
 #include "sim/event_queue.h"
@@ -250,6 +251,119 @@ void BM_LargeClosThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(events));
 }
 BENCHMARK(BM_LargeClosThroughput);
+
+void BM_LargeClosShardedThroughput(benchmark::State& state) {
+  // The same 32-ToR / 512-host / 1024-flow slice on the sharded engine
+  // (Arg = shard count). Wall-clock speedup needs real cores: on a 1-CPU
+  // runner the shards>1 rows measure the engine's coordination overhead
+  // (barriers + channel injection + per-Run thread spawn), not parallelism.
+  const int shards = static_cast<int>(state.range(0));
+  ClosShape shape;
+  shape.pods = 8;
+  shape.tors_per_pod = 4;
+  shape.leaves_per_pod = 4;
+  shape.spines = 8;
+  shape.hosts_per_tor = 16;
+  const ShardPlan plan = MakeClosShardPlan(shape, shards);
+  Network net(1, plan);
+  const ClosTopology topo = BuildClos(net, shape, TopologyOptions{});
+  std::vector<RdmaNic*> hosts;
+  for (const auto& per_tor : topo.hosts_by_tor) {
+    hosts.insert(hosts.end(), per_tor.begin(), per_tor.end());
+  }
+  const int n = static_cast<int>(hosts.size());
+  const int hpt = shape.hosts_per_tor;
+  Rng traffic(7);
+  for (int i = 0; i < n; ++i) {
+    const int tor = i / hpt;
+    for (int f = 0; f < 2; ++f) {
+      int dst = ((tor + 1) % shape.num_tors()) * hpt;
+      if (f != 0) {
+        do {
+          dst = static_cast<int>(traffic.UniformInt(0, n - 1));
+        } while (dst / hpt == tor);
+      }
+      FlowSpec fs;
+      fs.flow_id = net.NextFlowId();
+      fs.src_host = hosts[static_cast<size_t>(i)]->id();
+      fs.dst_host = hosts[static_cast<size_t>(dst)]->id();
+      fs.size_bytes = 0;
+      fs.mode = TransportMode::kRdmaDcqcn;
+      fs.ecmp_salt = traffic.NextU64();
+      net.StartFlow(fs);
+    }
+  }
+  uint64_t events = 0;
+  Time now = 0;
+  for (auto _ : state) {
+    now += Microseconds(300);
+    events += net.Run(now);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_LargeClosShardedThroughput)->Arg(1)->Arg(2)->Arg(4)
+    ->UseRealTime();
+
+void BM_ShardBarrier(benchmark::State& state) {
+  // Pure window-coordination overhead: a 4-shard 8-ToR fabric with no
+  // traffic, so every conservative window is empty and the loop measures
+  // barrier rounds + channel sweeps + per-Run worker spawn. Items =
+  // windows retired (simulated span / lookahead).
+  ClosShape shape;
+  shape.pods = 4;
+  shape.tors_per_pod = 2;
+  shape.leaves_per_pod = 2;
+  shape.spines = 4;
+  shape.hosts_per_tor = 2;
+  const ShardPlan plan = MakeClosShardPlan(shape, 4);
+  Network net(1, plan);
+  BuildClos(net, shape, TopologyOptions{});
+  const Time slice = Microseconds(100);
+  int64_t windows = 0;
+  Time now = 0;
+  for (auto _ : state) {
+    now += slice;
+    net.Run(now);
+    windows += static_cast<int64_t>(slice / net.lookahead());
+  }
+  state.SetItemsProcessed(windows);
+}
+BENCHMARK(BM_ShardBarrier)->UseRealTime();
+
+void BM_CrossShardChannel(benchmark::State& state) {
+  // The boundary hot path: a 2-shard paper-shape Clos where every flow
+  // crosses the cut, so each delivery rides a timestamped channel (egress
+  // push at Transmit, barrier injection at the window edge) instead of a
+  // same-shard schedule. Items = events executed.
+  const ClosShape shape;  // 4 ToRs / 20 hosts; cut = {T0,T1} | {T2,T3}
+  const ShardPlan plan = MakeClosShardPlan(shape, 2);
+  Network net(1, plan);
+  const ClosTopology topo = BuildClos(net, shape, TopologyOptions{});
+  Rng traffic(7);
+  // Every host under T0/T1 sends to its mirror under T2/T3 and vice versa.
+  const int hpt = shape.hosts_per_tor;
+  for (int tor = 0; tor < shape.num_tors(); ++tor) {
+    for (int h = 0; h < hpt; ++h) {
+      FlowSpec fs;
+      fs.flow_id = net.NextFlowId();
+      fs.src_host = topo.host(tor, h)->id();
+      fs.dst_host =
+          topo.host((tor + 2) % shape.num_tors(), h)->id();
+      fs.size_bytes = 0;
+      fs.mode = TransportMode::kRdmaDcqcn;
+      fs.ecmp_salt = traffic.NextU64();
+      net.StartFlow(fs);
+    }
+  }
+  uint64_t events = 0;
+  Time now = 0;
+  for (auto _ : state) {
+    now += Microseconds(100);
+    events += net.Run(now);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_CrossShardChannel)->UseRealTime();
 
 void BM_RunnerFluidSweep(benchmark::State& state) {
   // Serial-vs-parallel throughput of the experiment runner on a 16-trial

@@ -19,6 +19,11 @@
 //                               NIC and route --workload emission through
 //                               it, PROFILE[:key=val,...] (e.g. default or
 //                               tiny-cache:qp_cache=8); requires --workload
+//     --shards=N                run on the sharded parallel engine with N
+//                               shards (clos only: the fabric is cut by
+//                               ToR, so N must be <= the ToR count; the
+//                               run's outputs are byte-identical for every
+//                               valid N). Absent = the default engine.
 //     --ms=D                    simulated milliseconds (default 30)
 //     --seed=S                  RNG seed (default 1)
 //     --no-pfc                  disable PFC (lossy fabric)
@@ -42,6 +47,7 @@
 // writing code — exercises the whole public API via the umbrella header.
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "dcqcn.h"
@@ -60,6 +66,7 @@ struct Args {
   double poisson_gbps = 0;
   std::string workload;  // empty = default pairs+poisson drivers
   std::string host;      // empty = no host-path device model
+  int shards = 0;        // 0 = default engine; >= 1 = sharded engine
   int ms = 30;
   uint64_t seed = 1;
   bool pfc = true;
@@ -93,6 +100,12 @@ bool Parse(int argc, char** argv, Args* a) {
       a->workload = v;
     } else if (const char* v = val("--host=")) {
       a->host = v;
+    } else if (const char* v = val("--shards=")) {
+      a->shards = std::atoi(v);
+      if (a->shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1 (got '%s')\n", v);
+        return false;
+      }
     } else if (const char* v = val("--ms=")) {
       a->ms = std::atoi(v);
     } else if (const char* v = val("--seed=")) {
@@ -164,7 +177,35 @@ int main(int argc, char** argv) {
     }
   }
 
-  Network net(args.seed);
+  // --shards: the sharded engine needs a partition of the topology before
+  // the Network exists. Only the Clos fabric has one (cut by ToR); report
+  // an impossible cut as an error rather than silently falling back.
+  ShardPlan shard_plan;
+  if (args.shards > 0) {
+    if (args.topo != "clos") {
+      std::fprintf(stderr,
+                   "--shards=%d: no valid cut for --topo=%s (only the Clos "
+                   "fabric partitions by ToR)\n",
+                   args.shards, args.topo.c_str());
+      return 1;
+    }
+    ClosShape shape;  // BuildClos(net, hosts, opt) uses the paper defaults
+    shape.hosts_per_tor = args.hosts;
+    shard_plan = MakeClosShardPlan(shape, args.shards);
+    if (!shard_plan.ok) {
+      std::fprintf(stderr, "--shards=%d: %s\n", args.shards,
+                   shard_plan.error.c_str());
+      return 1;
+    }
+  }
+
+  std::optional<Network> net_storage;
+  if (args.shards > 0) {
+    net_storage.emplace(args.seed, shard_plan);
+  } else {
+    net_storage.emplace(args.seed);
+  }
+  Network& net = *net_storage;
   // A deep ring (1M records, ~40 MB) so multi-ms runs keep their rare
   // events (fault markers, early PAUSE edges) alongside the dense ones.
   if (!args.trace_path.empty()) net.EnableTracing(size_t{1} << 20);
@@ -275,7 +316,9 @@ int main(int argc, char** argv) {
                 args.topo.c_str(), hosts.size(), args.mode.c_str(),
                 args.workload.c_str());
     if (host_cfg.enabled) std::printf("host=%s, ", args.host.c_str());
-    std::printf("%d ms, pfc=%s\n\n", args.ms, args.pfc ? "on" : "OFF");
+    std::printf("%d ms, pfc=%s", args.ms, args.pfc ? "on" : "OFF");
+    if (net.sharded()) std::printf(", shards=%d", net.num_shards());
+    std::printf("\n\n");
     std::printf("workload: started %lld, completed %lld, in flight %lld, "
                 "skipped %lld\n",
                 static_cast<long long>(m.started),
@@ -311,10 +354,12 @@ int main(int argc, char** argv) {
     }
   } else {
     std::printf("scenario: %s, %zu hosts, mode=%s, incast=%d, pairs=%d, "
-                "poisson=%.0fG, %d ms, pfc=%s\n\n",
+                "poisson=%.0fG, %d ms, pfc=%s",
                 args.topo.c_str(), hosts.size(), args.mode.c_str(),
                 bopt.incast_degree, args.pairs, args.poisson_gbps, args.ms,
                 args.pfc ? "on" : "OFF");
+    if (net.sharded()) std::printf(", shards=%d", net.num_shards());
+    std::printf("\n\n");
     std::printf("goodput (Gbps):\n");
     PrintCdf("user transfers", traffic->user_goodput());
     PrintCdf("incast chunks", traffic->incast_goodput());
@@ -356,9 +401,14 @@ int main(int argc, char** argv) {
 
   if (!args.trace_path.empty()) {
     if (runner::WriteFile(args.trace_path, net.ExportChromeTrace())) {
-      std::printf("\nwrote trace %s (%zu of %zu events retained)\n",
-                  args.trace_path.c_str(), net.tracer()->size(),
-                  net.tracer()->total_recorded());
+      if (net.sharded()) {
+        // Records live in per-shard rings; the export already merged them.
+        std::printf("\nwrote trace %s\n", args.trace_path.c_str());
+      } else {
+        std::printf("\nwrote trace %s (%zu of %zu events retained)\n",
+                    args.trace_path.c_str(), net.tracer()->size(),
+                    net.tracer()->total_recorded());
+      }
     } else {
       std::fprintf(stderr, "failed to write trace %s\n",
                    args.trace_path.c_str());

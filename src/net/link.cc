@@ -4,7 +4,7 @@ namespace dcqcn {
 
 Link::Link(EventQueue* eq, Node* a, int port_a, Node* b, int port_b, Rate rate,
            Time propagation, QueuePool* pool)
-    : eq_(eq), rate_(rate), propagation_(propagation) {
+    : rate_(rate), propagation_(propagation) {
   DCQCN_CHECK(eq != nullptr && a != nullptr && b != nullptr);
   DCQCN_CHECK(rate > 0 && propagation >= 0);
   fwd_.in_flight.SetPool(pool);
@@ -13,12 +13,47 @@ Link::Link(EventQueue* eq, Node* a, int port_a, Node* b, int port_b, Rate rate,
   fwd_.from_port = port_a;
   fwd_.to = b;
   fwd_.to_port = port_b;
+  fwd_.eq = eq;
+  fwd_.dst_eq = eq;
   rev_.from = b;
   rev_.from_port = port_b;
   rev_.to = a;
   rev_.to_port = port_a;
+  rev_.eq = eq;
+  rev_.dst_eq = eq;
   a->AttachLink(port_a, this);
   b->AttachLink(port_b, this);
+}
+
+void Link::BindShardEngines(EventQueue* a_eq, EventQueue* b_eq,
+                            QueuePool* a_pool, QueuePool* b_pool,
+                            ShardChannel* fwd_ch, ShardChannel* rev_ch,
+                            uint64_t loss_seed) {
+  DCQCN_CHECK(a_eq != nullptr && b_eq != nullptr);
+  DCQCN_CHECK(fwd_.in_flight.empty() && rev_.in_flight.empty());
+  // A zero-latency boundary link would admit same-window causality across
+  // shards, breaking the conservative lookahead. Network enforces
+  // propagation > 0 for every link in sharded mode, so the check here is
+  // only about the channels themselves.
+  DCQCN_CHECK(fwd_ch == nullptr || propagation_ > 0);
+  fwd_.eq = a_eq;
+  fwd_.dst_eq = b_eq;
+  fwd_.channel = fwd_ch;
+  fwd_.in_flight.SetPool(b_pool);
+  rev_.eq = b_eq;
+  rev_.dst_eq = a_eq;
+  rev_.channel = rev_ch;
+  rev_.in_flight.SetPool(a_pool);
+  canonical_ = true;
+  loss_seed_ = loss_seed;
+}
+
+void Link::Deliver(Direction& d, Time at, uint64_t key, const Packet& p) {
+  const EventHandle h = d.dst_eq->ScheduleAtWithKey(at, key, [this, &d, p] {
+    d.in_flight.pop_front();
+    d.to->ReceivePacket(p, d.to_port);
+  });
+  d.in_flight.push_back(h);
 }
 
 void Link::Transmit(Node* from, const Packet& p) {
@@ -31,7 +66,7 @@ void Link::Transmit(Node* from, const Packet& p) {
 
   const Time ser = SerializationTime(p.size_bytes);
   // Serialization end: the transmitter may start its next frame.
-  eq_->ScheduleIn(ser, [this, &d] {
+  d.eq->ScheduleIn(ser, [this, &d] {
     d.busy = false;
     d.from->OnTransmitComplete(d.from_port);
   });
@@ -44,13 +79,14 @@ void Link::Transmit(Node* from, const Packet& p) {
     TraceWireDrop(d, p);
     return;
   }
-  if (fault_rng_ != nullptr) {
-    if (drop_p_ > 0 && fault_rng_->Chance(drop_p_)) {
+  Rng* loss = d.loss_rng != nullptr ? d.loss_rng.get() : fault_rng_;
+  if (loss != nullptr) {
+    if (drop_p_ > 0 && loss->Chance(drop_p_)) {
       d.lost++;
       TraceWireDrop(d, p);
       return;
     }
-    if (corrupt_p_ > 0 && fault_rng_->Chance(corrupt_p_)) {
+    if (corrupt_p_ > 0 && loss->Chance(corrupt_p_)) {
       d.corrupted++;
       TraceWireDrop(d, p);
       return;
@@ -58,20 +94,33 @@ void Link::Transmit(Node* from, const Packet& p) {
   }
 
   // Arrival at the far end after propagation (store-and-forward: the whole
-  // frame must be on the wire before the receiver can act on it). The handle
-  // is retained so a link-down can kill the frame mid-flight.
-  const EventHandle h = eq_->ScheduleIn(ser + propagation_, [this, &d, p] {
-    d.in_flight.pop_front();
-    d.to->ReceivePacket(p, d.to_port);
-  });
-  d.in_flight.push_back(h);
+  // frame must be on the wire before the receiver can act on it). The key is
+  // allocated on the egress queue either way, so the causal chain — and with
+  // it every descendant key — is identical whether the frame stays
+  // shard-local or crosses a channel. The handle is retained so a link-down
+  // can kill the frame mid-flight; for a channel message that happens at
+  // injection time (channels are always empty when faults run).
+  const Time at = d.eq->Now() + ser + propagation_;
+  const uint64_t key = d.eq->AllocChildKey();
+  if (d.channel != nullptr) {
+    d.channel->msgs.push_back(ShardMsg{at, key, p});
+    return;
+  }
+  Deliver(d, at, key, p);
+}
+
+void Link::InjectChannel(ShardChannel& ch) {
+  DCQCN_CHECK(ch.link == this);
+  Direction& d = ch.forward ? fwd_ : rev_;
+  for (const ShardMsg& m : ch.msgs) Deliver(d, m.at, m.key, m.pkt);
+  ch.msgs.clear();
 }
 
 void Link::TraceWireDrop(const Direction& d, const Packet& p) {
-  if (!tracer_) return;
-  tracer_->Record(eq_->Now(), telemetry::TraceEventType::kLinkDrop,
-                  d.from->id(), static_cast<int16_t>(d.from_port), p.priority,
-                  p.flow_id, p.size_bytes);
+  if (!d.tracer) return;
+  d.tracer->Record(d.eq->Now(), telemetry::TraceEventType::kLinkDrop,
+                   d.from->id(), static_cast<int16_t>(d.from_port), p.priority,
+                   p.flow_id, p.size_bytes);
 }
 
 void Link::SetUp(bool up) {
@@ -85,7 +134,7 @@ void Link::SetUp(bool up) {
 
 void Link::KillInFlight(Direction& d) {
   for (size_t i = 0; i < d.in_flight.size(); ++i) {
-    if (eq_->Cancel(d.in_flight[i])) d.lost++;
+    if (d.dst_eq->Cancel(d.in_flight[i])) d.lost++;
   }
   d.in_flight.clear();
 }
@@ -97,6 +146,18 @@ void Link::SetLossProfile(double drop_p, double corrupt_p, Rng* rng) {
   drop_p_ = drop_p;
   corrupt_p_ = corrupt_p;
   fault_rng_ = rng;
+  if (canonical_) {
+    // Per-direction streams seeded from the link's stable identity: the
+    // injector's shared RNG would interleave draws across shard threads and
+    // make loss patterns depend on the shard count.
+    if (drop_p > 0 || corrupt_p > 0) {
+      fwd_.loss_rng = std::make_unique<Rng>(MixEventKey(loss_seed_ * 2 + 1));
+      rev_.loss_rng = std::make_unique<Rng>(MixEventKey(loss_seed_ * 2 + 2));
+    } else {
+      fwd_.loss_rng.reset();
+      rev_.loss_rng.reset();
+    }
+  }
 }
 
 }  // namespace dcqcn

@@ -6,7 +6,19 @@
 // nodes own all queueing; the link only models the wire. PFC semantics rely
 // on one property modeled here: a frame whose serialization has begun cannot
 // be abandoned, which is exactly why switches need headroom buffer.
+//
+// The wire is also the only place nodes interact, which makes it the cut
+// point for the sharded engine (net/shard.h): BindShardEngines splits a
+// link's two directions across the endpoint shards' event queues, and a
+// direction whose endpoints live in different shards delivers through a
+// ShardChannel — a plain vector of (time, key, packet) messages written by
+// the egress shard during a window and injected into the ingress shard's
+// queue at the barrier. Propagation latency guarantees every such delivery
+// lands strictly beyond the window that produced it.
 #pragma once
+
+#include <memory>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
@@ -18,6 +30,26 @@
 #include "telemetry/event_trace.h"
 
 namespace dcqcn {
+
+class Link;
+
+// One frame crossing a shard boundary: absolute delivery time, the
+// canonical event key allocated on the egress side (so key accounting is
+// identical to a locally delivered frame), and the packet itself.
+struct ShardMsg {
+  Time at;
+  uint64_t key;
+  Packet pkt;
+};
+
+// Mailbox for one direction of one boundary link. The egress shard's thread
+// appends during a window; the orchestrator drains at the barrier via
+// Link::InjectChannel. Never touched from two threads at once.
+struct ShardChannel {
+  Link* link = nullptr;
+  bool forward = false;  // true: the link's a->b direction
+  std::vector<ShardMsg> msgs;
+};
 
 class Link {
  public:
@@ -76,8 +108,37 @@ class Link {
     return dir(from).corrupted;
   }
 
-  // Structured event tracing (wire-level drops); null disables.
-  void SetTracer(telemetry::EventTracer* tracer) { tracer_ = tracer; }
+  // Structured event tracing (wire-level drops); null disables. Attaches
+  // `tracer` to both directions; a sharded Network instead gives each
+  // direction its egress shard's tracer via SetDirectionTracers.
+  void SetTracer(telemetry::EventTracer* tracer) {
+    fwd_.tracer = tracer;
+    rev_.tracer = tracer;
+  }
+  void SetDirectionTracers(telemetry::EventTracer* fwd,
+                           telemetry::EventTracer* rev) {
+    fwd_.tracer = fwd;
+    rev_.tracer = rev;
+  }
+
+  // --- sharded-engine wiring (called once by Network, before any traffic) --
+  //
+  // Rebinds the a->b direction onto `a_eq` (egress clock) delivering into
+  // `b_eq`, and symmetrically for b->a. A non-null channel routes that
+  // direction's deliveries through the barrier mailbox instead of a direct
+  // schedule (pass channels only for cut links). In-flight rings re-home to
+  // the *destination* shard's pool — arrival events pop on its thread.
+  // `loss_seed` seeds the per-direction loss RNGs a later SetLossProfile
+  // will create (shared injector RNGs would make draw order depend on shard
+  // interleaving).
+  void BindShardEngines(EventQueue* a_eq, EventQueue* b_eq, QueuePool* a_pool,
+                        QueuePool* b_pool, ShardChannel* fwd_ch,
+                        ShardChannel* rev_ch, uint64_t loss_seed);
+
+  // Schedules every message in `ch` (one of this link's channels) into the
+  // destination shard's queue with the key fixed at egress. Called at the
+  // window barrier with all shards quiescent; clears the channel.
+  void InjectChannel(ShardChannel& ch);
 
  private:
   struct Direction {
@@ -94,10 +155,19 @@ class Link {
     // (serialization is sequential, so arrivals cannot reorder). SetUp(false)
     // cancels them.
     RingBuffer<EventHandle> in_flight;
+    // Engine binding: `eq` is the egress side's queue (serialization events,
+    // loss draws, trace timestamps); `dst_eq` the ingress side's (arrival
+    // events). Identical except across a shard boundary.
+    EventQueue* eq = nullptr;
+    EventQueue* dst_eq = nullptr;
+    ShardChannel* channel = nullptr;  // non-null: boundary direction
+    telemetry::EventTracer* tracer = nullptr;
+    std::unique_ptr<Rng> loss_rng;  // canonical mode only; see SetLossProfile
   };
 
   void KillInFlight(Direction& d);
   void TraceWireDrop(const Direction& d, const Packet& p);
+  void Deliver(Direction& d, Time at, uint64_t key, const Packet& p);
 
   const Direction& dir(const Node* from) const {
     DCQCN_CHECK(from == fwd_.from || from == rev_.from);
@@ -108,14 +178,14 @@ class Link {
     return from == fwd_.from ? fwd_ : rev_;
   }
 
-  EventQueue* eq_;
   Rate rate_;
   Time propagation_;
   bool up_ = true;
+  bool canonical_ = false;  // BindShardEngines was called
+  uint64_t loss_seed_ = 0;
   double drop_p_ = 0;
   double corrupt_p_ = 0;
   Rng* fault_rng_ = nullptr;
-  telemetry::EventTracer* tracer_ = nullptr;
   Direction fwd_;
   Direction rev_;
 };

@@ -1,0 +1,48 @@
+#include "net/shard.h"
+
+#include "net/topology.h"
+
+namespace dcqcn {
+
+ShardPlan MakeClosShardPlan(const ClosShape& shape, int shards) {
+  shape.Validate();
+  ShardPlan plan;
+  plan.num_shards = shards;
+  if (shards < 1) {
+    plan.ok = false;
+    plan.error = "shards must be >= 1 (got " + std::to_string(shards) + ")";
+    return plan;
+  }
+  const int tors = shape.num_tors();
+  if (shards > tors) {
+    plan.ok = false;
+    plan.error = "no valid cut: " + std::to_string(shards) +
+                 " shards but only " + std::to_string(tors) +
+                 " ToRs (a ToR and its hosts are the smallest shard unit)";
+    return plan;
+  }
+  const int leaves = shape.num_leaves();
+  const int total = tors + leaves + shape.spines + shape.num_hosts();
+  plan.shard_of_node.resize(static_cast<size_t>(total));
+
+  const auto tor_shard = [&](int tor) {
+    return static_cast<int32_t>(static_cast<int64_t>(tor) * shards / tors);
+  };
+  int id = 0;
+  for (int t = 0; t < tors; ++t) plan.shard_of_node[id++] = tor_shard(t);
+  for (int l = 0; l < leaves; ++l) {
+    const int pod = l / shape.leaves_per_pod;
+    plan.shard_of_node[id++] = tor_shard(pod * shape.tors_per_pod);
+  }
+  for (int s = 0; s < shape.spines; ++s) {
+    plan.shard_of_node[id++] = static_cast<int32_t>(s % shards);
+  }
+  for (int t = 0; t < tors; ++t) {
+    for (int h = 0; h < shape.hosts_per_tor; ++h) {
+      plan.shard_of_node[id++] = tor_shard(t);
+    }
+  }
+  return plan;
+}
+
+}  // namespace dcqcn

@@ -1,0 +1,49 @@
+// Topology partitioner for the sharded parallel engine.
+//
+// A ShardPlan assigns every node of a topology to exactly one shard before
+// the Network is built; Network's sharded constructor consumes it and gives
+// each shard its own EventQueue/TimerWheel/QueuePool plus the switches,
+// NICs and hosts assigned to it. Links whose endpoints land in different
+// shards become timestamped message channels (see Link::BindShardEngines),
+// and their propagation latency is the conservative lookahead that makes
+// barrier-synchronized windows safe (DESIGN §4j).
+//
+// The Clos partitioner cuts by ToR group: ToR t of T goes to shard
+// t*shards/T (contiguous, balanced within one ToR), each host follows its
+// ToR, each leaf follows its pod's first ToR, and spines round-robin across
+// shards. Any assignment is *correct* — channels handle every cut link —
+// this one just keeps the chatty host<->ToR and most ToR<->leaf traffic
+// shard-local so the channels carry only inter-pod/spine hops.
+//
+// The assignment is a pure function of (shape, shards): shard membership —
+// and with it every canonical event key — never depends on which thread
+// builds or runs the plan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcqcn {
+
+struct ClosShape;
+
+struct ShardPlan {
+  int num_shards = 1;
+  // node id -> shard, covering every node the topology builder will create
+  // (ToRs, leaves, spines, then hosts ToR-major — the BuildClos id layout).
+  std::vector<int32_t> shard_of_node;
+  bool ok = true;
+  std::string error;  // set when !ok (e.g. no valid cut)
+
+  int32_t shard_of(int node_id) const {
+    return shard_of_node[static_cast<size_t>(node_id)];
+  }
+};
+
+// Partitions `shape` into `shards` shards as described above. !ok with a
+// "no valid cut" error when shards exceeds the ToR count (a ToR and its
+// hosts are the indivisible unit) or shards < 1.
+ShardPlan MakeClosShardPlan(const ClosShape& shape, int shards);
+
+}  // namespace dcqcn

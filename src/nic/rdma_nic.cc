@@ -7,14 +7,15 @@
 
 namespace dcqcn {
 
-RdmaNic::RdmaNic(EventQueue* eq, int id, NicConfig config, QueuePool* pool)
+RdmaNic::RdmaNic(EventQueue* eq, int id, NicConfig config, QueuePool* pool,
+                 EventQueue* host_eq)
     : Node(id, /*num_ports=*/1), eq_(eq), config_(config) {
   config_.params.Validate();
   ctrl_out_.SetPool(pool);
   pfc_out_.SetPool(pool);
   if (config_.host_path.enabled) {
     host_path_ = std::make_unique<host::HostPathDevice>(
-        eq_, config_.host_path, id);
+        host_eq != nullptr ? host_eq : eq_, config_.host_path, id);
   }
 }
 

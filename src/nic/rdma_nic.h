@@ -61,8 +61,12 @@ class RdmaNic : public Node {
  public:
   // `pool` (may be null) backs the control/PFC transmit rings; Network
   // passes its per-network QueuePool so steady-state operation allocates
-  // nothing.
-  RdmaNic(EventQueue* eq, int id, NicConfig config, QueuePool* pool = nullptr);
+  // nothing. `host_eq` (may be null = `eq`) is the queue the host-path
+  // device schedules on: a sharded Network passes its coordinator queue so
+  // verbs/doorbell closures — which call back into the shared workload host
+  // — run between windows instead of on a shard thread.
+  RdmaNic(EventQueue* eq, int id, NicConfig config, QueuePool* pool = nullptr,
+          EventQueue* host_eq = nullptr);
   ~RdmaNic() override;
 
   // Creates a sender QP for `spec` (src_host must be this NIC) and schedules

@@ -90,6 +90,7 @@ TrialResult RunOneTrial(const TrialSpec& spec, const RunnerOptions& options,
   ctx.seed = DeriveTrialSeed(options.base_seed, index);
   ctx.faults = &spec.faults;
   ctx.trace = !spec.trace_path.empty();
+  ctx.shards = options.shards;
   TrialResult r = spec.run(ctx);
   if (r.name.empty()) r.name = spec.name;
   r.trial_index = index;
@@ -171,7 +172,7 @@ CliOptions ParseCli(int argc, char** argv) {
     cli.error = msg +
                 " (flags: --jobs N --seed S --json PATH --csv PATH"
                 " --trace PREFIX --cc POLICY --workload NAME[:k=v,...]"
-                " --host PROFILE[:k=v,...])";
+                " --host PROFILE[:k=v,...] --shards N)";
     return cli;
   };
 
@@ -201,6 +202,11 @@ CliOptions ParseCli(int argc, char** argv) {
     } else if (arg == "--seed") {
       if (!need_value()) return fail("--seed requires a value");
       cli.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--shards") {
+      if (!need_value()) return fail("--shards requires a value");
+      const long v = std::strtol(value.c_str(), nullptr, 10);
+      if (v < 1) return fail("--shards must be >= 1");
+      cli.shards = static_cast<int>(v);
     } else if (arg == "--json") {
       if (!need_value()) return fail("--json requires a path");
       cli.json_path = value;

@@ -51,6 +51,12 @@ struct TrialContext {
   // TrialResult::trace_json with the exported Chrome trace.
   bool trace = false;
   size_t trace_capacity = telemetry::kDefaultTraceCapacity;
+  // Intra-trial shards (the --shards axis). 0 = the default single-queue
+  // engine; N >= 1 = the sharded engine with N shards, whose output is
+  // byte-identical for every N. Trial bodies that support it build their
+  // Network from a ShardPlan (net/shard.h); the value is never serialized,
+  // so result bytes depend only on {matrix, base_seed} as before.
+  int shards = 0;
 };
 
 // Structured output of one trial. All maps are std::map so iteration (and
@@ -99,6 +105,8 @@ struct RunnerOptions {
   // pool of that many threads.
   int jobs = 1;
   uint64_t base_seed = 1;
+  // Copied into every TrialContext (see TrialContext::shards).
+  int shards = 0;
 };
 
 // Executes the matrix and returns results indexed by submission order.
@@ -127,10 +135,14 @@ std::vector<TrialResult> RunTrials(const std::vector<TrialSpec>& matrix,
 //                 profiles in src/host/host_config.h; rejected with the
 //                 profile list if unknown. Empty = no host-path model (the
 //                 wire-only behavior every run had before the knob existed).
+//   --shards N    intra-trial shards for benches whose trials support the
+//                 sharded engine (N >= 1; byte-identical across N). Absent =
+//                 the default single-queue engine.
 // Both `--flag value` and `--flag=value` are accepted.
 struct CliOptions {
   int jobs = 1;
   uint64_t seed = 1;
+  int shards = 0;  // 0 = default engine; >= 1 = sharded engine
   std::string json_path;      // empty = don't write
   std::string csv_path;       // empty = don't write
   std::string trace_prefix;   // empty = tracing off

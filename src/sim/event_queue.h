@@ -12,11 +12,23 @@
 //  * a 4-ary min-heap of 24-byte entries for the sparse far-future
 //    remainder. Heap entries never migrate to the wheel.
 //
-// The two tops are merged with the same (time, sequence) comparison the
-// heap alone used, so the global fire order — and with it every golden
-// trace — is unchanged: two events scheduled for the same picosecond fire
-// in the order they were scheduled, keeping whole simulations reproducible
-// across runs and platforms.
+// The two tops are merged with the same comparison the heap alone used, so
+// the global fire order — and with it every golden trace — is unchanged:
+// two events scheduled for the same picosecond fire in the order they were
+// scheduled, keeping whole simulations reproducible across runs and
+// platforms.
+//
+// Ordering is really (time, key, sequence). In the default mode every key
+// is 0, which degenerates to the historical (time, sequence) FIFO — bit
+// for bit. The sharded engine (net/shard.h) opts into *canonical keys*
+// instead: each event gets a 64-bit key derived from the key of the event
+// whose callback scheduled it (hash of the parent key, plus a per-parent
+// spawn counter). A key is therefore a pure function of the causal chain
+// that produced the event — independent of which shard's queue it sits in
+// and of how many shards exist — so same-timestamp ties resolve
+// identically at shards=1 and shards=N. Keys from outside any callback
+// (topology setup, the coordinator between windows) come from a
+// SpawnContext shared across all of a network's queues.
 //
 // Cancellation is O(1) and hash-free: an EventHandle carries its slot index
 // and the 64-bit sequence number stamped on the slot when the event was
@@ -29,6 +41,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -40,6 +53,24 @@
 namespace dcqcn {
 
 class EventQueue;
+
+// splitmix64 finalizer: the key-derivation hash for canonical event keys.
+inline constexpr uint64_t MixEventKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Key source for events scheduled outside any event callback (topology
+// setup, the window coordinator). A sharded Network shares ONE SpawnContext
+// across all of its queues, so setup-time keys do not depend on which shard
+// a call lands in. Only ever touched single-threaded (setup and the
+// inter-window phases run on the orchestrating thread).
+struct SpawnContext {
+  uint64_t hash = MixEventKey(0);
+  uint64_t spawn = 0;
+};
 
 // Opaque handle to a scheduled event; obtained from EventQueue::Schedule and
 // usable with Cancel(). A default-constructed handle refers to nothing.
@@ -66,12 +97,41 @@ class EventQueue {
   // Current simulated time. Advances monotonically as events run.
   Time Now() const { return now_; }
 
+  // Switches this queue to canonical event keys (see file comment). Must be
+  // called before anything is scheduled; `root` must outlive the queue and
+  // be shared with every sibling queue of the same network.
+  void EnableCanonicalKeys(SpawnContext* root) {
+    DCQCN_CHECK(root != nullptr && next_seq_ == 1);
+    root_ctx_ = root;
+  }
+
+  // The key the next child scheduled from the current context would get,
+  // consuming one spawn index. Used by boundary links to stamp a delivery's
+  // key on the egress shard before the event is injected on the ingress
+  // shard — identical key accounting to a locally delivered frame. Always 0
+  // when canonical keys are off.
+  uint64_t AllocChildKey() {
+    if (root_ctx_ == nullptr) return 0;
+    if (in_event_) return ctx_hash_ + ctx_spawn_++;
+    return root_ctx_->hash + root_ctx_->spawn++;
+  }
+
   // Schedules `cb` to run at absolute time `at` (must be >= Now()). The
   // callable's capture must fit InlineCallback::kCapacity (compile-time
   // checked).
   template <typename F>
   EventHandle ScheduleAt(Time at, F&& cb) {
+    return ScheduleAtWithKey(at, AllocChildKey(), std::forward<F>(cb));
+  }
+
+  // ScheduleAt with an explicit canonical key (one previously allocated via
+  // AllocChildKey on the scheduling context's queue). The plain overload is
+  // the common case; this one exists for cross-shard injection, where the
+  // key was fixed on the egress side.
+  template <typename F>
+  EventHandle ScheduleAtWithKey(Time at, uint64_t key, F&& cb) {
     DCQCN_CHECK(at >= now_);
+    DCQCN_DCHECK(DebugAffinityOk());
     const uint32_t slot = AllocSlot();
     const uint64_t seq = next_seq_++;
     Slot& s = slots_[slot];
@@ -79,9 +139,9 @@ class EventQueue {
     s.armed_seq = seq;
     wheel_.SyncIfIdle(now_);
     if (wheel_.Accepts(at)) {
-      wheel_.Insert(slot, at, seq);
+      wheel_.Insert(slot, at, key, seq);
     } else {
-      HeapPush(HeapEntry{at, seq, slot});
+      HeapPush(HeapEntry{at, key, seq, slot});
     }
     ++live_;
     return EventHandle{slot, seq};
@@ -99,6 +159,7 @@ class EventQueue {
   // slot is freed immediately and the heap entry dies in place, to be
   // skipped (and popped lazily) when it reaches the top.
   bool Cancel(EventHandle h) {
+    DCQCN_DCHECK(DebugAffinityOk());
     if (!h.valid()) return false;
     Slot& s = slots_[h.slot_];
     if (s.armed_seq != h.seq_) return false;
@@ -116,6 +177,7 @@ class EventQueue {
 
   // Runs the next event; returns false if the queue had no live events.
   bool RunOne() {
+    DCQCN_DCHECK(DebugAffinityOk());
     switch (PrepareTop()) {
       case TopSrc::kNone:
         return false;
@@ -134,6 +196,7 @@ class EventQueue {
   // events executed; afterwards Now() >= deadline unless the queue drained
   // earlier (then Now() is advanced to `deadline` as well).
   uint64_t RunUntil(Time deadline) {
+    DCQCN_DCHECK(DebugAffinityOk());
     uint64_t n = 0;
     for (;;) {
       const TopSrc src = PrepareTop();
@@ -172,6 +235,31 @@ class EventQueue {
     }
   }
 
+  // --- debug thread affinity ---
+  // A sharded Network binds each shard's queue to its executing thread for
+  // the duration of a window; Schedule/Cancel/Run from any other thread then
+  // trip a DCHECK. Unbound (the default, and between windows) means any
+  // thread may touch the queue — which is safe, because the barrier protocol
+  // guarantees exclusive access outside windows. No-ops in release builds.
+  void DebugBindToCurrentThread() {
+#ifndef NDEBUG
+    debug_owner_ = std::this_thread::get_id();
+    debug_bound_ = true;
+#endif
+  }
+  void DebugUnbind() {
+#ifndef NDEBUG
+    debug_bound_ = false;
+#endif
+  }
+  bool DebugAffinityOk() const {
+#ifndef NDEBUG
+    return !debug_bound_ || debug_owner_ == std::this_thread::get_id();
+#else
+    return true;
+#endif
+  }
+
  private:
   struct Slot {
     InlineCallback cb;
@@ -180,6 +268,7 @@ class EventQueue {
   };
   struct HeapEntry {
     Time at;
+    uint64_t key;  // canonical tie-break key; 0 outside canonical mode
     uint64_t seq;
     uint32_t slot;
   };
@@ -189,6 +278,7 @@ class EventQueue {
 
   static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
     if (a.at != b.at) return a.at < b.at;
+    if (a.key != b.key) return a.key < b.key;
     return a.seq < b.seq;
   }
 
@@ -280,8 +370,26 @@ class EventQueue {
       if (!have_heap) return TopSrc::kReady;
       const TimerWheel::Entry& r = wheel_.ReadyFront();
       const HeapEntry& h = heap_[0];
-      const bool ready_first = r.at != h.at ? r.at < h.at : r.seq < h.seq;
+      const bool ready_first =
+          r.at != h.at ? r.at < h.at
+                       : (r.key != h.key ? r.key < h.key : r.seq < h.seq);
       return ready_first ? TopSrc::kReady : TopSrc::kHeap;
+    }
+  }
+
+  // Invokes an event's callback. In canonical-key mode the firing event's
+  // key seeds the context its callback schedules children from: child key =
+  // MixEventKey(parent key) + spawn index. Both sides of that sum are pure
+  // functions of the causal chain, so the derived keys are too.
+  void Invoke(uint64_t key, InlineCallback& cb) {
+    if (root_ctx_ != nullptr) {
+      ctx_hash_ = MixEventKey(key);
+      ctx_spawn_ = 0;
+      in_event_ = true;
+      cb();
+      in_event_ = false;
+    } else {
+      cb();
     }
   }
 
@@ -296,7 +404,7 @@ class EventQueue {
     InlineCallback cb = std::move(s.cb);
     FreeSlot(e.slot);
     --live_;
-    cb();
+    Invoke(e.key, cb);
   }
 
   // Pre: ready front is live. Same contract as FireTop.
@@ -313,7 +421,7 @@ class EventQueue {
     InlineCallback cb = std::move(s.cb);
     FreeSlot(e.slot);
     --live_;
-    cb();
+    Invoke(e.key, cb);
   }
 
   Time now_ = 0;
@@ -323,6 +431,16 @@ class EventQueue {
   std::vector<Slot> slots_;
   uint32_t free_head_ = kNoFreeSlot;
   TimerWheel wheel_;
+  // Canonical-key state (see file comment). root_ctx_ == nullptr is the
+  // default (time, sequence) mode.
+  SpawnContext* root_ctx_ = nullptr;
+  uint64_t ctx_hash_ = 0;   // MixEventKey(key of the firing event)
+  uint64_t ctx_spawn_ = 0;  // children scheduled by the firing event so far
+  bool in_event_ = false;   // inside a callback (vs. setup / coordinator)
+#ifndef NDEBUG
+  std::thread::id debug_owner_;
+  bool debug_bound_ = false;
+#endif
 };
 
 }  // namespace dcqcn

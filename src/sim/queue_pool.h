@@ -9,9 +9,14 @@
 // time the network reaches a new high-water mark — which is what makes
 // steady-state forwarding allocation-free.
 //
-// Single-threaded by design, like everything else hanging off one
-// EventQueue; the parallel runner gives each trial its own Network and
-// therefore its own pool.
+// One pool per EventQueue, and therefore per shard: a sharded Network
+// (net/shard.h) gives every shard its own pool next to its own queue, so
+// ring growth and recycling stay thread-local during a window. Boundary
+// links file their in-flight rings under the *destination* shard's pool —
+// pops happen on the destination's thread. Within one pool all calls are
+// single-threaded, serialized either by the owning shard's thread or by
+// the barrier protocol between windows; the parallel runner additionally
+// gives each trial its own Network and therefore its own pools.
 #pragma once
 
 #include <cstddef>

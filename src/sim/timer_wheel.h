@@ -23,10 +23,12 @@
 // sorted `ready` vector.
 //
 // Determinism: the wheel never reorders anything. A drained L0 bucket holds
-// entries of a single absolute tick; they are sorted by (time, seq) into
-// `ready`, sub-tick-exact, and the caller merges ready-front against its
-// heap top with the same (time, seq) comparison — so global fire order is
-// exactly the (time, sequence) FIFO order the heap alone would produce.
+// entries of a single absolute tick; they are sorted by (time, key, seq)
+// into `ready`, sub-tick-exact, and the caller merges ready-front against
+// its heap top with the same (time, key, seq) comparison — so global fire
+// order is exactly what the heap alone would produce. Keys are 0 outside
+// the sharded engine's canonical mode (see sim/event_queue.h), where the
+// comparison degenerates to the historical (time, sequence) FIFO.
 #pragma once
 
 #include <algorithm>
@@ -54,6 +56,7 @@ class TimerWheel {
   // A drained (or directly-ready) entry, in the caller's handle terms.
   struct Entry {
     Time at;
+    uint64_t key;  // canonical tie-break key; 0 outside canonical mode
     uint64_t seq;
     uint32_t slot;
   };
@@ -92,11 +95,11 @@ class TimerWheel {
   // Files the armed event under `slot`. Pre: Accepts(at), slot < size from
   // EnsureSlots, and the slot holds no other wheel entry (the caller's
   // one-pending-event-per-slot invariant).
-  void Insert(uint32_t slot, Time at, uint64_t seq) {
+  void Insert(uint32_t slot, Time at, uint64_t key, uint64_t seq) {
     const int64_t tick = TickOf(at);
     const int64_t delta = tick - cur_tick_;
     if (delta <= 0) {
-      InsertReady(Entry{at, seq, slot});
+      InsertReady(Entry{at, key, seq, slot});
       return;
     }
     int level = 0;
@@ -114,7 +117,7 @@ class TimerWheel {
                      static_cast<int64_t>(kBucketsPerLevel));
       }
     }
-    Link(level, pos, slot, at, seq);
+    Link(level, pos, slot, at, key, seq);
   }
 
   // O(1) unlink when the cancelled event is chained in a bucket; no-op for
@@ -184,6 +187,7 @@ class TimerWheel {
  private:
   struct Node {
     Time at = 0;
+    uint64_t key = 0;
     uint64_t seq = 0;
     uint32_t prev = kNil;
     uint32_t next = kNil;
@@ -195,12 +199,14 @@ class TimerWheel {
   static constexpr int kWordsPerLevel =
       static_cast<int>(kBucketsPerLevel / 64);
 
-  void Link(int level, int64_t pos, uint32_t slot, Time at, uint64_t seq) {
+  void Link(int level, int64_t pos, uint32_t slot, Time at, uint64_t key,
+            uint64_t seq) {
     const uint32_t index = static_cast<uint32_t>(pos) & kIndexMask;
     const uint32_t b = static_cast<uint32_t>(level) * kBucketsPerLevel + index;
     Node& n = nodes_[slot];
     DCQCN_DCHECK(n.bucket == kNoBucket);
     n.at = at;
+    n.key = key;
     n.seq = seq;
     n.prev = kNil;
     n.next = heads_[b];
@@ -317,13 +323,13 @@ class TimerWheel {
       if (next != kNil) __builtin_prefetch(&nodes_[next]);
       n.bucket = kNoBucket;
       --chained_;
-      Insert(slot, n.at, n.seq);
+      Insert(slot, n.at, n.key, n.seq);
       slot = next;
     }
   }
 
   // Drains the single-tick L0 bucket at absolute tick `tick` into `ready`,
-  // sorted by (time, seq).
+  // sorted by (time, key, seq).
   void DrainL0Bucket(int64_t tick) {
     DCQCN_DCHECK(tick > cur_tick_);
     cur_tick_ = tick;
@@ -342,7 +348,7 @@ class TimerWheel {
       // Linked-list walk over scattered nodes: overlap the successor's
       // cache miss with this entry's copy-out.
       if (n.next != kNil) __builtin_prefetch(&nodes_[n.next]);
-      ready_.push_back(Entry{n.at, n.seq, slot});
+      ready_.push_back(Entry{n.at, n.key, n.seq, slot});
       n.bucket = kNoBucket;
       --chained_;
       slot = n.next;
@@ -351,6 +357,7 @@ class TimerWheel {
       const auto first = ready_.begin() + static_cast<long>(base);
       std::sort(first, ready_.end(), [](const Entry& a, const Entry& b) {
         if (a.at != b.at) return a.at < b.at;
+        if (a.key != b.key) return a.key < b.key;
         return a.seq < b.seq;
       });
     }
@@ -358,12 +365,13 @@ class TimerWheel {
 
   // Sorted insert for entries at or behind the cursor (the bucket for their
   // tick has already drained). New events carry the largest sequence number
-  // so far, so upper_bound lands them after any same-time entry: FIFO.
+  // so far, so upper_bound lands them after any same-(time, key) entry.
   void InsertReady(const Entry& e) {
     auto it = std::upper_bound(ready_.begin() + static_cast<long>(ready_pos_),
                                ready_.end(), e,
                                [](const Entry& a, const Entry& b) {
                                  if (a.at != b.at) return a.at < b.at;
+                                 if (a.key != b.key) return a.key < b.key;
                                  return a.seq < b.seq;
                                });
     ready_.insert(it, e);

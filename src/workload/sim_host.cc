@@ -14,10 +14,12 @@ SimWorkloadHost::SimWorkloadHost(Network& net, std::vector<RdmaNic*> hosts,
 void SimWorkloadHost::Begin(WorkloadPattern& pattern) {
   DCQCN_CHECK(pattern_ == nullptr);  // Begin is one-shot
   pattern_ = &pattern;
-  for (RdmaNic* h : hosts_) {
-    h->AddCompletionCallback(
-        [this](const FlowRecord& rec) { OnCompletion(rec); });
-  }
+  // Through the Network chokepoint: inline per-NIC callbacks in the default
+  // engine (identical to registering on each host directly), canonical
+  // barrier replay in the sharded engine. OnCompletion filters on flow
+  // ownership, so hearing about every NIC's completions changes nothing.
+  net_.AddCompletionHandler(
+      [this](const FlowRecord& rec) { OnCompletion(rec); });
   pattern.Begin(*this);
 }
 

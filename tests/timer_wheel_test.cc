@@ -94,7 +94,7 @@ class WheelDriver {
     const uint64_t seq = next_seq_++;
     armed_[slot] = seq;
     slot_of_[seq] = slot;
-    wheel_.Insert(slot, at, seq);
+    wheel_.Insert(slot, at, /*key=*/0, seq);
     ++live_;
     return seq;
   }
