@@ -5,6 +5,7 @@
 #include "bench/common.h"
 #include "fault/fault_injector.h"
 #include "host/host_config.h"
+#include "hybrid/engine.h"
 #include "net/shard.h"
 #include "telemetry/probes.h"
 #include "workload/sim_host.h"
@@ -250,8 +251,12 @@ runner::TrialSpec ScaleTrial(const ScaleCase& c,
   std::vector<double>* wall_seconds = opt.wall_seconds;
   const runner::CcSelection cc = opt.cc;
   const bool use_pattern = !opt.workload.empty();
-  spec.run = [c, wall_seconds, cc, wspec, host_cfg,
-              use_pattern](const runner::TrialContext& ctx) {
+  const int64_t fct_reservoir = opt.fct_reservoir;
+  const bool retain_flow_records = opt.retain_flow_records;
+  const double size_scale = opt.workload_size_scale;
+  spec.run = [c, wall_seconds, cc, wspec, host_cfg, use_pattern,
+              fct_reservoir, retain_flow_records,
+              size_scale](const runner::TrialContext& ctx) {
     // --shards=N selects the sharded engine; both engines sit behind the
     // same Network surface, so everything below is engine-agnostic.
     std::optional<Network> net_storage;
@@ -270,7 +275,21 @@ runner::TrialSpec ScaleTrial(const ScaleCase& c,
     TopologyOptions topt = CcTopo(cc.mode);
     topt.nic_config.host_path = host_cfg;
     const ClosTopology topo = BuildClos(net, c.shape, topt);
+    // --hybrid wraps the run loop in the flow-level fast-forward controller.
+    // Constructed after wiring and before any StartFlow, per its contract;
+    // ParseCli already rejected the --shards/--host combinations.
+    std::optional<hybrid::HybridEngine> hyb;
+    if (!ctx.hybrid.empty()) {
+      DCQCN_CHECK(ctx.shards == 0 && !host_cfg.enabled);
+      hybrid::HybridConfig hcfg;
+      DCQCN_CHECK(hybrid::ParseHybridSpec(
+          ctx.hybrid == "on" ? "" : ctx.hybrid, &hcfg));
+      hyb.emplace(&net, hcfg, ctx.faults);
+    }
     const std::vector<RdmaNic*> hosts = AllHosts(topo);
+    if (!retain_flow_records) {
+      for (RdmaNic* h : hosts) h->SetRetainCompletedRecords(false);
+    }
     const int n = static_cast<int>(hosts.size());
     const int hpt = c.shape.hosts_per_tor;
     const int num_tors = c.shape.num_tors();
@@ -288,11 +307,24 @@ runner::TrialSpec ScaleTrial(const ScaleCase& c,
       // exactly like ext_workload (pattern randomness on its own stream,
       // host-path emission when the device model is attached).
       pattern = workload::CreateWorkloadPattern(
-          wspec, runner::DeriveTrialSeed(ctx.seed, 0x3a11));
+          wspec, runner::DeriveTrialSeed(ctx.seed, 0x3a11), size_scale);
       whost.emplace(net, hosts, cc.mode, cc.policy);
       if (host_cfg.enabled) {
         vhost = std::make_unique<workload::VerbsWorkloadHost>(
             net, hosts, cc.mode, cc.policy);
+      }
+      if (fct_reservoir > 0) {
+        // Caps apply before any sample lands, so capped and uncapped runs
+        // agree exactly until the reservoir overflows.
+        workload::WorkloadMetrics& m =
+            host_cfg.enabled ? vhost->metrics() : whost->metrics();
+        const auto cap = static_cast<size_t>(fct_reservoir);
+        m.goodput_gbps.SetCap(cap);
+        m.fct_us.SetCap(cap);
+        m.slowdown.SetCap(cap);
+        m.iteration_us.SetCap(cap);
+      }
+      if (host_cfg.enabled) {
         vhost->Begin(*pattern);
       } else {
         whost->Begin(*pattern);
@@ -342,7 +374,8 @@ runner::TrialSpec ScaleTrial(const ScaleCase& c,
     }
 
     const auto t0 = std::chrono::steady_clock::now();
-    const uint64_t events = net.Run(c.duration);
+    const uint64_t events =
+        hyb.has_value() ? hyb->Run(c.duration) : net.Run(c.duration);
     const auto t1 = std::chrono::steady_clock::now();
     if (wall_seconds != nullptr) {
       (*wall_seconds)[ctx.trial_index] =
@@ -369,6 +402,19 @@ runner::TrialSpec ScaleTrial(const ScaleCase& c,
     if (inj.has_value()) {
       r.counters["faults_started"] = inj->faults_started();
       r.counters["faults_healed"] = inj->faults_healed();
+    }
+    if (hyb.has_value()) {
+      // Emitted only under --hybrid, so hybrid-off output stays
+      // byte-identical to every pre-hybrid binary.
+      const hybrid::HybridStats& hs = hyb->stats();
+      r.counters["hybrid_epochs"] = hs.epochs;
+      r.counters["hybrid_ff_completions"] = hs.ff_completions;
+      r.counters["hybrid_ff_packets"] = hs.ff_packets;
+      r.counters["hybrid_probes"] = hs.probes;
+      r.counters["hybrid_entry_rejects"] = hs.entry_rejects;
+      r.counters["hybrid_exits_infeasible"] = hs.exits_infeasible;
+      r.counters["hybrid_exits_fault"] = hs.exits_fault;
+      r.metrics["hybrid_ff_ms"] = ToMilliseconds(hs.ff_time);
     }
     r.metrics["sim_ms"] = ToSeconds(c.duration) * 1e3;
     r.metrics["agg_goodput_gbps"] =

@@ -145,6 +145,19 @@ struct ScaleTrialOptions {
   // writes its run-loop wall time into slot trial_index (distinct slots,
   // so concurrent trials never race).
   std::vector<double>* wall_seconds = nullptr;
+  // Flow-size scale factor handed to CreateWorkloadPattern (1.0 = the
+  // distribution's published shape). Million-flow sweeps compress sizes so
+  // arrival count, not per-flow byte volume, dominates the run.
+  double workload_size_scale = 1.0;
+  // Reservoir cap on the workload host's per-flow Cdfs (0 = keep every
+  // sample). Bounds runner memory at million-flow scale: wl_* summaries are
+  // then computed over a deterministic fixed-seed reservoir while
+  // wl_started / wl_completed stay exact totals.
+  int64_t fct_reservoir = 0;
+  // When false, receivers drop completed FlowRecords instead of retaining
+  // them for post-run readouts — the other half of keeping memory bounded
+  // by *concurrent* (not cumulative) flows on million-flow sweeps.
+  bool retain_flow_records = true;
 };
 
 // The trial honors TrialContext::shards (0 = default engine, N >= 1 = the

@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
   opt.jobs = cli.jobs;
   opt.base_seed = cli.seed;
   opt.shards = cli.shards;
+  opt.hybrid = cli.hybrid;
   const std::vector<runner::TrialResult> results =
       runner::RunTrials(matrix, opt);
 

@@ -10,6 +10,7 @@
 #include "fluid/sweep.h"
 #include "host/host_device.h"
 #include "host/lru_cache.h"
+#include "hybrid/engine.h"
 #include "net/shard.h"
 #include "net/topology.h"
 #include "runner/runner.h"
@@ -364,6 +365,52 @@ void BM_CrossShardChannel(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(events));
 }
 BENCHMARK(BM_CrossShardChannel)->UseRealTime();
+
+void BM_HybridFastForward(benchmark::State& state) {
+  // The hybrid engine's target regime: sparse open-loop Poisson arrivals on
+  // a 64-host Clos. Arg 0 runs the plain packet engine, arg 1 the hybrid
+  // controller — the items/sec ratio between the two rows is the fast-path
+  // dividend (simulated picoseconds per wall second; items = simulated us).
+  ClosShape shape;
+  shape.pods = 4;
+  shape.tors_per_pod = 2;
+  shape.leaves_per_pod = 2;
+  shape.spines = 4;
+  shape.hosts_per_tor = 8;
+  Network net(1);
+  const ClosTopology topo = BuildClos(net, shape, TopologyOptions{});
+  std::optional<hybrid::HybridEngine> hyb;
+  if (state.range(0) != 0) {
+    hybrid::HybridConfig cfg;
+    cfg.check_interval = Microseconds(5);
+    cfg.release_completed = true;
+    hyb.emplace(&net, cfg);
+  }
+  std::vector<RdmaNic*> hosts;
+  for (const auto& tor_hosts : topo.hosts_by_tor) {
+    hosts.insert(hosts.end(), tor_hosts.begin(), tor_hosts.end());
+  }
+  workload::SimWorkloadHost whost(net, hosts, TransportMode::kRdmaDcqcn, -1);
+  workload::PoissonOptions popt;
+  popt.offered_load = Gbps(40) * static_cast<double>(hosts.size()) * 0.01;
+  popt.seed = 17;
+  workload::PoissonPattern pattern(popt);
+  whost.Begin(pattern);
+
+  const Time slice = Milliseconds(1);
+  Time now = 0;
+  for (auto _ : state) {
+    now += slice;
+    if (hyb.has_value()) {
+      hyb->Run(now);
+    } else {
+      net.Run(now);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(slice / kMicrosecond));
+}
+BENCHMARK(BM_HybridFastForward)->Arg(0)->Arg(1)->UseRealTime();
 
 void BM_RunnerFluidSweep(benchmark::State& state) {
   // Serial-vs-parallel throughput of the experiment runner on a 16-trial

@@ -109,6 +109,22 @@ class CcPolicy {
     (void)kind;
   }
 
+  // --- hybrid fast-forward seam (src/hybrid) ---
+  // Upper bound the flow-level allocator must respect for this flow: the
+  // rate the policy would enforce if the fabric presented no congestion.
+  // Rate-based policies return their limiter rate; window-based policies
+  // return line rate (their cap is Cwnd()-shaped and the allocator applies
+  // it separately via Cwnd()/RTT).
+  virtual Rate RateCap() const { return CurrentRate(); }
+  // Reseeds the policy's rate state from a flow-level allocation when
+  // packet-level operation resumes after a fast-forwarded epoch. Default:
+  // keep state untouched (correct for policies with no reseedable state).
+  virtual void ReseedRate(CcHost& host, Rate rate, Time rtt_hint) {
+    (void)host;
+    (void)rate;
+    (void)rtt_hint;
+  }
+
   // --- introspection (tests, telemetry, stats readouts) ---
   virtual const RpState* rp() const { return nullptr; }
   virtual const TimelyState* timely() const { return nullptr; }

@@ -20,6 +20,21 @@ class DcqcnPolicy : public CcPolicy {
   Rate MinRate() const override { return params_.min_rate; }
   const RpState* rp() const override { return &rp_; }
 
+  void ReseedRate(CcHost& host, Rate rate, Time /*rtt_hint*/) override {
+    const bool was_limiting = rp_.limiting();
+    rp_.Reseed(rate);
+    if (was_limiting && !rp_.limiting()) {
+      // Reseeded back to line rate: the limiter released, as after a full
+      // recovery — retire both timers.
+      host.CancelCcTimer(CcTimerKind::kAlpha);
+      host.CancelCcTimer(CcTimerKind::kRate);
+    } else if (!was_limiting && rp_.limiting()) {
+      host.ArmCcTimer(CcTimerKind::kAlpha, params_.alpha_timer);
+      host.ArmCcTimer(CcTimerKind::kRate, params_.rate_increase_timer);
+    }
+    host.TraceCcRate(rp_.limiting() ? rp_.current_rate() : line_rate_);
+  }
+
   void OnCnp(CcHost& host) override {
     rp_.OnCnp();
     host.TraceCcRate(rp_.current_rate());

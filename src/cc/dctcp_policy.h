@@ -23,6 +23,21 @@ class DctcpPolicy : public CcPolicy {
   Bytes Cwnd() const override { return cwnd_; }
   double dctcp_alpha() const override { return alpha_; }
 
+  // Window-based: the flow-level cap is cwnd-shaped, not limiter-shaped, so
+  // the allocator must not treat CurrentRate() (= line rate) as binding per
+  // se; it derives the effective cap from Cwnd()/RTT itself.
+  Rate RateCap() const override { return line_rate_; }
+
+  void ReseedRate(CcHost& host, Rate rate, Time rtt_hint) override {
+    (void)host;
+    if (rtt_hint <= 0) return;
+    // cwnd = rate * RTT (bytes), clamped to the configured floor. Leaving
+    // slow start matches the steady cruise the fast-forwarded epoch modeled.
+    const double bytes = rate * static_cast<double>(rtt_hint) / 8e12;
+    cwnd_ = std::max<Bytes>(dctcp_.min_cwnd, static_cast<Bytes>(bytes));
+    in_slow_start_ = false;
+  }
+
   void OnAck(CcHost& host, const CcAckSignal& ack) override {
     (void)host;
     window_acked_ += std::max<Bytes>(ack.newly_acked, kMtu);

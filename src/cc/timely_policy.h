@@ -24,6 +24,11 @@ class TimelyPolicy : public CcPolicy {
     timely_.OnRttSample(rtt);
   }
 
+  void ReseedRate(CcHost& host, Rate rate, Time /*rtt_hint*/) override {
+    timely_.SetRate(rate);
+    host.TraceCcRate(timely_.rate());
+  }
+
  private:
   const Rate min_rate_;
   TimelyState timely_;

@@ -81,6 +81,20 @@ void RpState::IncreaseIteration(bool /*from_timer*/) {
   if (rc_ >= line_rate_) Release();
 }
 
+void RpState::Reseed(Rate rate) {
+  DCQCN_CHECK(rate > 0);
+  if (rate >= line_rate_) {
+    Release();
+    return;
+  }
+  limiting_ = true;
+  rc_ = std::max(rate, params_.min_rate);
+  rt_ = rc_;
+  t_count_ = 0;
+  bc_count_ = 0;
+  bytes_since_counter_ = 0;
+}
+
 void RpState::Release() {
   limiting_ = false;
   rc_ = line_rate_;

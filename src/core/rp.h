@@ -56,6 +56,13 @@ class RpState {
   // more; more than one only if a single send spans several B windows).
   int OnBytesSent(Bytes bytes);
 
+  // Hybrid fast-forward reseed: pins R_C = R_T = `rate` (clamped to line
+  // rate). A reseed at line rate releases the limiter entirely (fresh
+  // episode state, alpha back to 1), matching the post-recovery state the
+  // packet engine would have reached; below line rate the limiter stays
+  // engaged with the increase counters cleared.
+  void Reseed(Rate rate);
+
  private:
   void IncreaseIteration(bool from_timer);
   void Release();

@@ -57,6 +57,14 @@ class TimelyState {
   double gradient() const { return rtt_diff_us_ / ToMicroseconds(params_.min_rtt); }
   int64_t samples() const { return samples_; }
 
+  // Hybrid fast-forward reseed: pins the rate (clamped to
+  // [min_rate, line_rate]). Gradient history is left untouched — the next
+  // real RTT sample resumes the EWMA from where packet-level operation
+  // stopped.
+  void SetRate(Rate r) {
+    rate_ = std::clamp(r, params_.min_rate, line_rate_);
+  }
+
   // Feeds one RTT sample (an ACK completed a segment).
   void OnRttSample(Time rtt) {
     DCQCN_CHECK(rtt >= 0);

@@ -1,0 +1,83 @@
+#include "hybrid/allocator.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace dcqcn::hybrid {
+
+AllocResult MaxMinAllocate(const std::vector<AllocDemand>& demands,
+                           const std::vector<Rate>& link_capacity) {
+  const size_t nf = demands.size();
+  const size_t nl = link_capacity.size();
+  AllocResult out;
+  out.rate.assign(nf, 0.0);
+  if (nf == 0) return out;
+
+  std::vector<Rate> remaining = link_capacity;
+  std::vector<int32_t> active(nl, 0);   // unfrozen flows crossing each link
+  std::vector<char> frozen(nf, 0);
+  size_t unfrozen = 0;
+  for (size_t f = 0; f < nf; ++f) {
+    DCQCN_CHECK(demands[f].cap > 0);
+    ++unfrozen;
+    for (int32_t l : demands[f].links) {
+      DCQCN_CHECK(l >= 0 && static_cast<size_t>(l) < nl);
+      ++active[l];
+    }
+  }
+
+  // Saturation tolerance relative to the link's own capacity: rates are
+  // doubles, so "remaining == 0" needs slack after repeated subtraction.
+  constexpr double kRelTol = 1e-9;
+
+  while (unfrozen > 0) {
+    ++out.rounds;
+    // Uniform increment: the smallest headroom-per-active-flow over all
+    // loaded links, clamped by the closest per-flow cap.
+    double inc = std::numeric_limits<double>::infinity();
+    for (size_t l = 0; l < nl; ++l) {
+      if (active[l] > 0) inc = std::min(inc, remaining[l] / active[l]);
+    }
+    for (size_t f = 0; f < nf; ++f) {
+      if (!frozen[f]) inc = std::min(inc, demands[f].cap - out.rate[f]);
+    }
+    if (inc < 0) inc = 0;
+
+    for (size_t f = 0; f < nf; ++f) {
+      if (!frozen[f]) out.rate[f] += inc;
+    }
+    for (size_t l = 0; l < nl; ++l) {
+      if (active[l] > 0) remaining[l] -= inc * active[l];
+    }
+
+    // Freeze flows at cap and flows on saturated links. At least one flow
+    // freezes per round (the arg-min of the increment), so the loop runs at
+    // most nf rounds.
+    size_t froze = 0;
+    for (size_t f = 0; f < nf; ++f) {
+      if (frozen[f]) continue;
+      bool stop = out.rate[f] >= demands[f].cap * (1.0 - kRelTol);
+      if (!stop) {
+        for (int32_t l : demands[f].links) {
+          if (remaining[l] <= kRelTol * link_capacity[l]) {
+            stop = true;
+            break;
+          }
+        }
+      }
+      if (stop) {
+        frozen[f] = 1;
+        ++froze;
+        --unfrozen;
+        for (int32_t l : demands[f].links) --active[l];
+      }
+    }
+    // Numerical backstop: if the tolerance let a round pass with no freeze,
+    // freeze everything at the current level rather than loop forever.
+    if (froze == 0) break;
+  }
+  return out;
+}
+
+}  // namespace dcqcn::hybrid

@@ -1,0 +1,40 @@
+// Max-min fair rate allocator for the hybrid fast-forward engine.
+//
+// Classic progressive filling (water-filling): every unfrozen flow's rate
+// rises at the same pace; a flow freezes when it reaches its policy rate cap
+// or when one of its links saturates (all flows still active on a saturated
+// link freeze at that bottleneck's equal share). The fixed point is the
+// unique max-min fair allocation subject to the per-flow caps.
+//
+// The epoch controller uses the allocation two ways:
+//   * as the quiescence gate — an epoch is only fast-forwardable when every
+//     flow's allocation is within eps of its policy cap, i.e. the fabric
+//     imposes no sharing and each flow behaves as if alone on its path;
+//   * as the reseed rate handed back to CC policies on epoch exit.
+//
+// Deterministic by construction: no RNG, no pointer-keyed iteration — the
+// caller supplies dense link indices and demand order, and the result is a
+// pure function of them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dcqcn::hybrid {
+
+struct AllocDemand {
+  Rate cap = 0;                // policy/path rate cap, bits/s (> 0)
+  std::vector<int32_t> links;  // dense indices of the links the flow crosses
+};
+
+struct AllocResult {
+  std::vector<Rate> rate;  // max-min allocation per demand; rate[i] <= cap
+  int rounds = 0;          // filling rounds until fixed point
+};
+
+AllocResult MaxMinAllocate(const std::vector<AllocDemand>& demands,
+                           const std::vector<Rate>& link_capacity);
+
+}  // namespace dcqcn::hybrid

@@ -98,8 +98,9 @@ void Link::Transmit(Node* from, const Packet& p) {
   // allocated on the egress queue either way, so the causal chain — and with
   // it every descendant key — is identical whether the frame stays
   // shard-local or crosses a channel. The handle is retained so a link-down
-  // can kill the frame mid-flight; for a channel message that happens at
-  // injection time (channels are always empty when faults run).
+  // can kill the frame mid-flight; channel messages are killed from the
+  // staged buffer instead (KillInFlight — faults run between windows, when
+  // channels proper are empty but a delivery chain may span the barrier).
   const Time at = d.eq->Now() + ser + propagation_;
   const uint64_t key = d.eq->AllocChildKey();
   if (d.channel != nullptr) {
@@ -109,11 +110,42 @@ void Link::Transmit(Node* from, const Packet& p) {
   Deliver(d, at, key, p);
 }
 
+void Link::ScheduleChainHead(Direction& d) {
+  DCQCN_CHECK(d.staged_next < d.staged.size());
+  const ShardMsg& m = d.staged[d.staged_next++];
+  const Packet p = m.pkt;
+  const EventHandle h =
+      d.dst_eq->ScheduleAtWithKey(m.at, m.key, [this, &d, p] {
+        d.in_flight.pop_front();
+        if (d.staged_next < d.staged.size()) {
+          ScheduleChainHead(d);
+        } else {
+          d.staged.clear();
+          d.staged_next = 0;
+        }
+        d.to->ReceivePacket(p, d.to_port);
+      });
+  d.in_flight.push_back(h);
+}
+
 void Link::InjectChannel(ShardChannel& ch) {
   DCQCN_CHECK(ch.link == this);
   Direction& d = ch.forward ? fwd_ : rev_;
-  for (const ShardMsg& m : ch.msgs) Deliver(d, m.at, m.key, m.pkt);
+  if (ch.msgs.empty()) return;
+  // Compact the consumed prefix (delivered frames, plus the chained-in head
+  // whose packet lives in its pending event) before splicing the window in.
+  if (d.staged_next > 0) {
+    d.staged.erase(d.staged.begin(),
+                   d.staged.begin() +
+                       static_cast<std::ptrdiff_t>(d.staged_next));
+    d.staged_next = 0;
+  }
+  d.staged.insert(d.staged.end(), ch.msgs.begin(), ch.msgs.end());
   ch.msgs.clear();
+  // Serialization is sequential, so each direction's message times strictly
+  // increase: the splice keeps `staged` sorted and the chain delivers in
+  // order. Only start a chain when none is pending.
+  if (d.in_flight.empty()) ScheduleChainHead(d);
 }
 
 void Link::TraceWireDrop(const Direction& d, const Packet& p) {
@@ -137,6 +169,13 @@ void Link::KillInFlight(Direction& d) {
     if (d.dst_eq->Cancel(d.in_flight[i])) d.lost++;
   }
   d.in_flight.clear();
+  // Staged cross-shard frames not yet chained in are on the wire too (the
+  // chained-in head was already counted via its cancelled event above).
+  if (d.staged_next < d.staged.size()) {
+    d.lost += static_cast<int64_t>(d.staged.size() - d.staged_next);
+  }
+  d.staged.clear();
+  d.staged_next = 0;
 }
 
 void Link::SetLossProfile(double drop_p, double corrupt_p, Rng* rng) {

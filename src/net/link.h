@@ -135,10 +135,25 @@ class Link {
                         QueuePool* b_pool, ShardChannel* fwd_ch,
                         ShardChannel* rev_ch, uint64_t loss_seed);
 
-  // Schedules every message in `ch` (one of this link's channels) into the
-  // destination shard's queue with the key fixed at egress. Called at the
-  // window barrier with all shards quiescent; clears the channel.
+  // Splices every message in `ch` (one of this link's channels) into the
+  // direction's staged buffer and ensures ONE self-chaining delivery event
+  // exists on the destination shard's queue — the barrier pays a single
+  // schedule per channel per window instead of one per message. Each chain
+  // event delivers its frame with the key fixed at egress, then schedules
+  // the next, so event counts and canonical ordering are identical to
+  // per-message scheduling. Called at the window barrier with all shards
+  // quiescent; clears the channel. A live chain spans windows and picks
+  // newly spliced messages up by itself.
   void InjectChannel(ShardChannel& ch);
+
+  // True when nothing is serializing or propagating in either direction
+  // (staged cross-shard frames count as propagating). The hybrid epoch
+  // controller requires every link idle before fast-forwarding.
+  bool Idle() const {
+    return !fwd_.busy && !rev_.busy && fwd_.in_flight.empty() &&
+           rev_.in_flight.empty() && fwd_.staged_next >= fwd_.staged.size() &&
+           rev_.staged_next >= rev_.staged.size();
+  }
 
  private:
   struct Direction {
@@ -161,11 +176,20 @@ class Link {
     EventQueue* eq = nullptr;
     EventQueue* dst_eq = nullptr;
     ShardChannel* channel = nullptr;  // non-null: boundary direction
+    // Cross-shard arrivals staged for chained delivery (boundary directions
+    // only): [staged_next, size) awaits scheduling; the entry just below
+    // staged_next is the chained-in head (its packet captured by value in
+    // the pending event). Compacted at each barrier splice.
+    std::vector<ShardMsg> staged;
+    size_t staged_next = 0;
     telemetry::EventTracer* tracer = nullptr;
     std::unique_ptr<Rng> loss_rng;  // canonical mode only; see SetLossProfile
   };
 
   void KillInFlight(Direction& d);
+  // Schedules the delivery event for staged[staged_next] (consuming it) and
+  // files its handle in in_flight; the event delivers, then chains the next.
+  void ScheduleChainHead(Direction& d);
   void TraceWireDrop(const Direction& d, const Packet& p);
   void Deliver(Direction& d, Time at, uint64_t key, const Packet& p);
 

@@ -54,6 +54,8 @@ SharedBufferSwitch* Network::AddSwitch(int num_ports,
   raw->SetTracer(tracer);
   switches_.push_back(std::move(sw));
   nodes_.push_back(raw);
+  nic_by_id_.push_back(nullptr);
+  switch_by_id_.push_back(raw);
   adj_.emplace_back();
   return raw;
 }
@@ -81,22 +83,24 @@ RdmaNic* Network::AddHost(const NicConfig& cfg) {
   RdmaNic* raw = nic.get();
   nics_.push_back(std::move(nic));
   nodes_.push_back(raw);
+  nic_by_id_.push_back(raw);
+  switch_by_id_.push_back(nullptr);
   adj_.emplace_back();
   return raw;
 }
 
 RdmaNic* Network::host(int node_id) const {
-  for (const auto& n : nics_) {
-    if (n->id() == node_id) return n.get();
+  if (node_id < 0 || static_cast<size_t>(node_id) >= nic_by_id_.size()) {
+    return nullptr;
   }
-  return nullptr;
+  return nic_by_id_[static_cast<size_t>(node_id)];
 }
 
 SharedBufferSwitch* Network::FindSwitch(int node_id) const {
-  for (const auto& sw : switches_) {
-    if (sw->id() == node_id) return sw.get();
+  if (node_id < 0 || static_cast<size_t>(node_id) >= switch_by_id_.size()) {
+    return nullptr;
   }
-  return nullptr;
+  return switch_by_id_[static_cast<size_t>(node_id)];
 }
 
 Link* Network::FindLink(int node_a, int node_b) const {
@@ -125,7 +129,18 @@ Link* Network::Connect(Node* a, int port_a, Node* b, int port_b, Rate rate,
   // Conservative lookahead: a zero-latency link would let a frame cross a
   // shard boundary inside the window that produced it.
   DCQCN_CHECK(propagation > 0);
-  quantum_ = std::min(quantum_, propagation);
+  // Adaptive per-cut window width: a link whose endpoints share a partition
+  // unit (ShardPlan::unit_of_node) can never cross a shard at any shard
+  // count, so it does not bound the window. Host<->ToR links are the big
+  // winner — a short host wire no longer drags every window down with it.
+  // Units are shard-count-invariant, so the window schedule (and byte
+  // identity across shard counts) is preserved. Plans without unit info
+  // fall back to the legacy global minimum.
+  const int32_t ua = plan_.unit_of(a->id());
+  const int32_t ub = plan_.unit_of(b->id());
+  if (ua < 0 || ub < 0 || ua != ub) {
+    quantum_ = std::min(quantum_, propagation);
+  }
   const auto sa = static_cast<size_t>(plan_.shard_of(a->id()));
   const auto sb = static_cast<size_t>(plan_.shard_of(b->id()));
   auto link = std::make_unique<Link>(&eq_, a, port_a, b, port_b, rate,
@@ -194,7 +209,45 @@ SenderQp* Network::StartFlow(FlowSpec spec) {
   RdmaNic* src = host(spec.src_host);
   DCQCN_CHECK(src != nullptr);
   DCQCN_CHECK(host(spec.dst_host) != nullptr);
-  return src->AddFlow(spec);
+  SenderQp* qp = src->AddFlow(spec);
+  if (flow_observer_) flow_observer_(qp);
+  return qp;
+}
+
+std::vector<Link*> Network::FlowPathLinks(const FlowSpec& spec) const {
+  std::vector<Link*> path;
+  const uint64_t key = FlowEcmpKey(spec.flow_id, spec.ecmp_salt);
+  const Node* cur = nodes_[static_cast<size_t>(spec.src_host)];
+  Link* first = cur->link(0);  // host uplink is always port 0
+  path.push_back(first);
+  Node* nxt = first->Peer(cur);
+  int hops = 0;
+  while (nxt->id() != spec.dst_host) {
+    DCQCN_CHECK(++hops < 64);  // routing loop guard
+    SharedBufferSwitch* sw = FindSwitch(nxt->id());
+    DCQCN_CHECK(sw != nullptr);
+    Link* l = sw->link(sw->EcmpSelect(key, spec.dst_host));
+    path.push_back(l);
+    nxt = l->Peer(sw);
+  }
+  return path;
+}
+
+void Network::ReleaseFlow(const FlowSpec& spec) {
+  pending_release_.push_back(spec);
+  if (release_armed_) return;
+  release_armed_ = true;
+  eq_.ScheduleIn(0, [this] { DrainReleases(); });
+}
+
+void Network::DrainReleases() {
+  release_armed_ = false;
+  for (const FlowSpec& s : pending_release_) {
+    host(s.src_host)->RemoveFlow(s.flow_id);
+    host(s.dst_host)->RemoveFlow(s.flow_id);
+    free_flow_ids_.push_back(s.flow_id);
+  }
+  pending_release_.clear();
 }
 
 void Network::AddCompletionHandler(std::function<void(const FlowRecord&)> cb) {

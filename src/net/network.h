@@ -83,7 +83,39 @@ class Network {
   // Registers a flow on its source NIC. Assigns a flow id if spec.flow_id
   // is negative. Returns the sender QP.
   SenderQp* StartFlow(FlowSpec spec);
-  int NextFlowId() { return next_flow_id_++; }
+  // Fresh flow id: recycled (see ReleaseFlow) if any are free, else the next
+  // sequential counter value. Without ReleaseFlow callers this is exactly
+  // the historical sequential counter.
+  int NextFlowId() {
+    if (!free_flow_ids_.empty()) {
+      const int id = free_flow_ids_.back();
+      free_flow_ids_.pop_back();
+      return id;
+    }
+    return next_flow_id_++;
+  }
+
+  // --- hybrid fast-forward seam (src/hybrid) ---
+
+  // Observer invoked on every StartFlow, after the sender QP exists. The
+  // epoch controller uses it to fold arrivals that fire mid-epoch into the
+  // flow-level allocation. At most one observer (null clears).
+  void SetFlowObserver(std::function<void(SenderQp*)> cb) {
+    flow_observer_ = std::move(cb);
+  }
+  // The ordered links a flow's data path traverses src -> dst, resolved
+  // with the same per-switch ECMP hash the wire uses. Deterministic; used
+  // by the flow-level max-min allocator.
+  std::vector<Link*> FlowPathLinks(const FlowSpec& spec) const;
+
+  // Releases all per-NIC state of a completed flow (sender QP + receiver
+  // slot) and recycles its id for a future StartFlow. Deferred to a
+  // zero-delay event: completion callbacks run deep inside the QP being
+  // released. Callers must guarantee no packets for the id remain in
+  // flight (the hybrid controller releases only with the wire drained).
+  // Opt-in — nothing in the default engine calls this — and the reason
+  // dense flow tables stay bounded by *concurrent* flows in 10^6-flow runs.
+  void ReleaseFlow(const FlowSpec& spec);
 
   const std::vector<std::unique_ptr<SharedBufferSwitch>>& switches() const {
     return switches_;
@@ -165,6 +197,7 @@ class Network {
   // Barrier work: inject every channel's messages into its destination
   // queue, then replay spooled completions sorted by (finish_time, flow_id).
   void DrainWindow();
+  void DrainReleases();
   telemetry::EventTracer* ShardTracerOf(int node_id) const;
 
   uint64_t seed_;
@@ -188,8 +221,17 @@ class Network {
   std::vector<FlowRecord> completion_scratch_;
   int next_node_id_ = 0;
   int next_flow_id_ = 0;
+  std::function<void(SenderQp*)> flow_observer_;
+  std::vector<int> free_flow_ids_;
+  std::vector<FlowSpec> pending_release_;
+  bool release_armed_ = false;
   std::vector<std::unique_ptr<SharedBufferSwitch>> switches_;
   std::vector<std::unique_ptr<RdmaNic>> nics_;
+  // Dense node-id indexes (nullptr for the other kind): host()/FindSwitch()
+  // are O(1), which matters once completions and path computations run per
+  // flow at 10^6-flow scale.
+  std::vector<RdmaNic*> nic_by_id_;
+  std::vector<SharedBufferSwitch*> switch_by_id_;
   std::vector<std::unique_ptr<Link>> links_;
   // node id -> list of (peer, local port)
   std::vector<std::vector<Adjacency>> adj_;

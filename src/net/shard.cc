@@ -24,22 +24,32 @@ ShardPlan MakeClosShardPlan(const ClosShape& shape, int shards) {
   const int leaves = shape.num_leaves();
   const int total = tors + leaves + shape.spines + shape.num_hosts();
   plan.shard_of_node.resize(static_cast<size_t>(total));
+  plan.unit_of_node.resize(static_cast<size_t>(total));
 
   const auto tor_shard = [&](int tor) {
     return static_cast<int32_t>(static_cast<int64_t>(tor) * shards / tors);
   };
+  // Units (shape-only, shard-count-independent): ToR t and its hosts form
+  // unit t; leaf l is unit tors+l; spine s is unit tors+leaves+s. Matches
+  // the assignment above: a unit's nodes always share a shard.
   int id = 0;
-  for (int t = 0; t < tors; ++t) plan.shard_of_node[id++] = tor_shard(t);
+  for (int t = 0; t < tors; ++t) {
+    plan.shard_of_node[id] = tor_shard(t);
+    plan.unit_of_node[id++] = static_cast<int32_t>(t);
+  }
   for (int l = 0; l < leaves; ++l) {
     const int pod = l / shape.leaves_per_pod;
-    plan.shard_of_node[id++] = tor_shard(pod * shape.tors_per_pod);
+    plan.shard_of_node[id] = tor_shard(pod * shape.tors_per_pod);
+    plan.unit_of_node[id++] = static_cast<int32_t>(tors + l);
   }
   for (int s = 0; s < shape.spines; ++s) {
-    plan.shard_of_node[id++] = static_cast<int32_t>(s % shards);
+    plan.shard_of_node[id] = static_cast<int32_t>(s % shards);
+    plan.unit_of_node[id++] = static_cast<int32_t>(tors + leaves + s);
   }
   for (int t = 0; t < tors; ++t) {
     for (int h = 0; h < shape.hosts_per_tor; ++h) {
-      plan.shard_of_node[id++] = tor_shard(t);
+      plan.shard_of_node[id] = tor_shard(t);
+      plan.unit_of_node[id++] = static_cast<int32_t>(t);
     }
   }
   return plan;

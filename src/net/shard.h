@@ -33,11 +33,26 @@ struct ShardPlan {
   // node id -> shard, covering every node the topology builder will create
   // (ToRs, leaves, spines, then hosts ToR-major — the BuildClos id layout).
   std::vector<int32_t> shard_of_node;
+  // node id -> indivisible partition unit (adaptive per-cut lookahead). A
+  // unit is the finest group the partitioner never splits: each ToR plus
+  // its hosts is one unit, each leaf and each spine its own. Every unit
+  // maps into exactly one shard for ANY shard count, so a link inside a
+  // unit can never cross a shard — its propagation delay is excluded from
+  // the conservative window width. Pure function of the shape (not of
+  // num_shards), keeping the window schedule — and with it byte-identity —
+  // invariant across shard counts. Empty = legacy behavior (every link
+  // bounds the window).
+  std::vector<int32_t> unit_of_node;
   bool ok = true;
   std::string error;  // set when !ok (e.g. no valid cut)
 
   int32_t shard_of(int node_id) const {
     return shard_of_node[static_cast<size_t>(node_id)];
+  }
+  // Unit of a node; nodes of the same unit share every shard assignment.
+  int32_t unit_of(int node_id) const {
+    return unit_of_node.empty() ? -1
+                                : unit_of_node[static_cast<size_t>(node_id)];
   }
 };
 

@@ -9,7 +9,8 @@ StarTopology BuildStar(Network& net, int num_hosts,
   t.sw = net.AddSwitch(num_hosts, opt.switch_config);
   for (int i = 0; i < num_hosts; ++i) {
     RdmaNic* h = net.AddHost(opt.nic_config);
-    net.Connect(t.sw, i, h, 0, opt.link_rate, opt.link_delay);
+    net.Connect(t.sw, i, h, 0, opt.link_rate,
+                opt.effective_host_link_delay());
     t.hosts.push_back(h);
   }
   net.BuildRoutes();
@@ -55,7 +56,7 @@ ClosTopology BuildClos(Network& net, const ClosShape& shape,
     for (int h = 0; h < hosts_per_tor; ++h) {
       RdmaNic* nic = net.AddHost(opt.nic_config);
       net.Connect(t.tors[static_cast<size_t>(tor)], h, nic, 0, opt.link_rate,
-                  opt.link_delay);
+                  opt.effective_host_link_delay());
       t.hosts_by_tor[static_cast<size_t>(tor)].push_back(nic);
     }
   }

@@ -22,8 +22,17 @@ namespace dcqcn {
 struct TopologyOptions {
   Rate link_rate = Gbps(40);
   Time link_delay = Microseconds(1);  // per-hop propagation (+ switch fwd)
+  // Host<->ToR propagation; 0 (default) = link_delay. Short host wires are
+  // physically realistic (in-rack DAC vs inter-switch fiber) and, with the
+  // adaptive per-cut lookahead (ShardPlan::unit_of_node), no longer shrink
+  // the sharded engine's window width: host links never cross a shard.
+  Time host_link_delay = 0;
   SwitchConfig switch_config;
   NicConfig nic_config;
+
+  Time effective_host_link_delay() const {
+    return host_link_delay > 0 ? host_link_delay : link_delay;
+  }
 };
 
 struct StarTopology {

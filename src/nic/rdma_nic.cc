@@ -171,8 +171,61 @@ void RdmaNic::ServiceQpTimers() {
 void RdmaNic::OnQpActivated(SenderQp* /*qp*/) { TrySend(); }
 
 void RdmaNic::OnMessageComplete(SenderQp* /*qp*/, const FlowRecord& rec) {
-  completed_.push_back(rec);
+  if (retain_completed_) completed_.push_back(rec);
   for (const auto& cb : completion_cbs_) cb(rec);
+}
+
+void RdmaNic::SetTxSuspended(bool suspended) {
+  if (tx_suspended_ == suspended) return;
+  tx_suspended_ = suspended;
+  if (!suspended) TrySend();
+}
+
+void RdmaNic::HybridAdvanceReceiver(const FlowSpec& spec, uint64_t upto_seq) {
+  DCQCN_CHECK(spec.dst_host == id());
+  Packet p;
+  p.flow_id = spec.flow_id;
+  p.src_host = spec.src_host;
+  p.transport = spec.mode;
+  p.ecmp_key = FlowEcmpKey(spec.flow_id, spec.ecmp_salt);
+  RcvFlow& rcv = RcvSlot(p);
+  if (upto_seq <= rcv.expect) return;
+  const uint64_t pkts = upto_seq - rcv.expect;
+  // Byte-exact for full-message advances; the last packet may be short, but
+  // the epoch controller only advances to message/ack boundaries with sizes
+  // it computed from the sender's cursors — `delivered` here is telemetry.
+  rcv.delivered += static_cast<Bytes>(pkts) * kMtu;
+  rcv.expect = upto_seq;
+  rcv.in_order_since_ack = 0;
+}
+
+void RdmaNic::RemoveFlow(int flow_id) {
+  const auto fid = static_cast<size_t>(flow_id);
+  // Sender side.
+  if (flow_id >= 0 && fid < qp_index_.size() && qp_index_[fid] != nullptr) {
+    SenderQp* qp = qp_index_[fid];
+    DCQCN_CHECK(qp->started() && qp->complete());
+    qp_index_[fid] = nullptr;
+    for (size_t i = 0; i < qps_.size(); ++i) {
+      if (qps_[i].get() != qp) continue;
+      qps_[i] = std::move(qps_.back());
+      qps_.pop_back();
+      break;
+    }
+  }
+  // Receiver side: packed swap-erase with index fixup.
+  if (flow_id >= 0 && fid < rcv_index_.size() && rcv_index_[fid] >= 0) {
+    const auto slot = static_cast<size_t>(rcv_index_[fid]);
+    rcv_index_[fid] = -1;
+    const size_t last = rcv_store_.size() - 1;
+    if (slot != last) {
+      rcv_store_[slot] = rcv_store_[last];
+      DCQCN_CHECK(rcv_store_[slot].flow_id >= 0);
+      rcv_index_[static_cast<size_t>(rcv_store_[slot].flow_id)] =
+          static_cast<int32_t>(slot);
+    }
+    rcv_store_.pop_back();
+  }
 }
 
 void RdmaNic::OnTransmitComplete(int /*port*/) { TrySend(); }
@@ -212,6 +265,10 @@ void RdmaNic::TrySend() {
     l->Transmit(this, p);
     return;
   }
+
+  // Hybrid wire drain: no new data enters flight while suspended (in-flight
+  // packets keep getting ACKed above).
+  if (tx_suspended_) return;
 
   // Data: round robin over QPs that are eligible right now.
   const size_t n = qps_.size();
@@ -305,6 +362,7 @@ RdmaNic::RcvFlow& RdmaNic::RcvSlot(const Packet& p) {
     rcv_index_[fid] = slot;
     RcvFlow rcv;
     rcv.src_host = p.src_host;
+    rcv.flow_id = p.flow_id;
     rcv.ecmp_key = p.ecmp_key;
     rcv.transport = p.transport;
     rcv_store_.push_back(rcv);

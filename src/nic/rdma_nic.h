@@ -111,6 +111,35 @@ class RdmaNic : public Node {
   // Structured event tracing; propagates to existing and future sender QPs.
   void SetTracer(telemetry::EventTracer* tracer);
 
+  // --- hybrid fast-forward seam (src/hybrid) ---
+
+  // Suspends data transmission (control/PFC unaffected) so the epoch
+  // controller can drain the wire: outstanding data keeps getting ACKed
+  // while no new data enters flight. Unsuspending kicks the scheduler.
+  void SetTxSuspended(bool suspended);
+  bool tx_suspended() const { return tx_suspended_; }
+  // True when no generated control/PFC frame is waiting for the wire.
+  bool ControlQueueEmpty() const {
+    return ctrl_out_.empty() && pfc_out_.empty();
+  }
+  // Fast-forwards receiver state for `spec` (dst_host must be this NIC):
+  // packets [expect, upto_seq) were delivered in order analytically. Creates
+  // the receiver slot if the flow never got a real packet here.
+  void HybridAdvanceReceiver(const FlowSpec& spec, uint64_t upto_seq);
+
+  // --- memory controls for huge trials (bench/ext_million) ---
+
+  // When off, completed FlowRecords are dispatched to callbacks but not
+  // retained in completed_flows() — 10^6-flow runs cannot afford the
+  // buffer. Default on (retain), preserving existing readouts.
+  void SetRetainCompletedRecords(bool retain) { retain_completed_ = retain; }
+  // Releases all per-flow state for `flow_id` on this NIC: the sender QP
+  // (must be started and complete) and/or the receiver slot, whichever
+  // exist. Stray late packets for the id are ignored (FindQp -> null).
+  // Enables flow-id recycling so dense tables stay bounded by the number of
+  // *concurrent* flows.
+  void RemoveFlow(int flow_id);
+
   // --- fault-injection hooks (FaultInjector, src/fault) ---
 
   // "Babbling NIC": continuously re-emits PFC PAUSE for `priority` every
@@ -145,6 +174,7 @@ class RdmaNic : public Node {
 
   struct RcvFlow {
     int32_t src_host = -1;
+    int32_t flow_id = -1;  // back-pointer for packed-store swap-erase
     uint64_t ecmp_key = 0;
     TransportMode transport = TransportMode::kRdmaDcqcn;
     uint64_t expect = 0;       // next in-order sequence
@@ -215,6 +245,8 @@ class RdmaNic : public Node {
   Time storm_refresh_[kNumPriorities] = {};
   EventHandle storm_timer_[kNumPriorities];
   Time control_delay_ = 0;
+  bool tx_suspended_ = false;   // hybrid wire-drain gate (data only)
+  bool retain_completed_ = true;
   std::unique_ptr<host::HostPathDevice> host_path_;
   size_t rr_next_ = 0;
   EventHandle wakeup_;

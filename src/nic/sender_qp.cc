@@ -217,6 +217,42 @@ void SenderQp::CompleteMessages(Time now) {
   }
 }
 
+Bytes SenderQp::UnackedBytes() const {
+  Bytes total = 0;
+  for (const Message& m : messages_) {
+    if (m.bytes == 0) continue;  // unbounded sentinel
+    total += m.bytes;
+    if (snd_una_ > m.begin_seq) {
+      const Bytes acked =
+          std::min<Bytes>(static_cast<Bytes>(snd_una_ - m.begin_seq) * kMtu,
+                          m.bytes);
+      total -= acked;
+    }
+  }
+  return total;
+}
+
+void SenderQp::HybridAdvance(Time now, uint64_t upto_seq, Time next_allowed) {
+  DCQCN_CHECK(started_ && !unbounded_);
+  DCQCN_CHECK(upto_seq >= snd_next_ && upto_seq <= send_limit_);
+  // Packets in [snd_next_, upto_seq) were never simulated — count them here.
+  // The already-sent-but-unacked tail [snd_una_, snd_next_) was counted at
+  // send time; fast-forwarding simply deems it acknowledged (its receiver
+  // may still sit short of an ack_every boundary, which only the virtual
+  // packets would have pushed it past).
+  Bytes bytes = 0;
+  for (uint64_t s = snd_next_; s < upto_seq; ++s) bytes += PacketBytes(s);
+  counters_.packets_sent += static_cast<int64_t>(upto_seq - snd_next_);
+  counters_.bytes_sent += bytes;
+  snd_una_ = upto_seq;
+  snd_next_ = upto_seq;
+  snd_high_ = std::max(snd_high_, snd_next_);
+  next_allowed_ = next_allowed;
+  ArmRetxTimer(now);  // snd_una == snd_next: retires the timer
+  CompleteMessages(now);
+  nic_->OnQpActivated(this);
+}
+
 void SenderQp::OnNak(Time now, uint64_t expected_seq) {
   counters_.naks_received++;
   // A NAK acknowledges everything before `expected_seq`...

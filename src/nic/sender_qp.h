@@ -121,6 +121,41 @@ class SenderQp : public CcHost {
   // the policy, which re-arms while its limiter is engaged.
   void ServiceCcTimer(CcTimerKind kind) { cc_->OnTimer(*this, kind); }
 
+  // --- hybrid fast-forward seam (src/hybrid) ---
+  // Sequence-cursor introspection for the flow-level allocator: [snd_una,
+  // send_limit) is the unacknowledged byte range, per-packet sizes come from
+  // PacketBytesAt, and next_allowed is the pacing clock's next send slot.
+  uint64_t snd_una() const { return snd_una_; }
+  uint64_t snd_next() const { return snd_next_; }
+  // snd_next < snd_high marks an in-progress loss rewind (go-back-N is
+  // resending); the epoch controller pins such flows to packet mode.
+  uint64_t snd_high() const { return snd_high_; }
+  uint64_t send_limit() const { return send_limit_; }
+  Time next_allowed() const { return next_allowed_; }
+  bool unbounded() const { return unbounded_; }
+  Bytes PacketBytesAt(uint64_t seq) const { return PacketBytes(seq); }
+  bool LastOfMessageAt(uint64_t seq) const { return IsLastOfMessage(seq); }
+  // Bytes not yet cumulatively acknowledged across all queued messages.
+  Bytes UnackedBytes() const;
+  // Messages still queued (0 == complete()). The epoch controller models
+  // only single-message QPs; back-to-back enqueues pin a flow to packet mode.
+  int OutstandingMessages() const { return static_cast<int>(messages_.size()); }
+
+  // Fast-forward: every packet below `upto_seq` is now fully sent AND
+  // acknowledged. Packets in [snd_next, upto_seq) were never simulated —
+  // the epoch controller computed their wire traversal analytically — and
+  // are counted into the tx counters here; the already-sent tail
+  // [snd_una, snd_next) keeps its send-time accounting and is simply deemed
+  // acknowledged. Completes covered messages at `now` (normal FlowRecord
+  // path) and sets the pacing clock to `next_allowed`. CC signals are
+  // intentionally NOT replayed; the controller reseeds policy state via
+  // ReseedCc instead.
+  void HybridAdvance(Time now, uint64_t upto_seq, Time next_allowed);
+  // Forwards a flow-level allocation to the policy's reseed hook.
+  void ReseedCc(Rate rate, Time rtt_hint) {
+    cc_->ReseedRate(*this, rate, rtt_hint);
+  }
+
   // --- CcHost (policy -> QP services) ---
   Time CcNow() const override;
   void ArmCcTimer(CcTimerKind kind, Time base_period) override;

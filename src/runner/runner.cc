@@ -11,6 +11,7 @@
 #include "cc/cc_policy.h"
 #include "common/check.h"
 #include "host/host_config.h"
+#include "hybrid/engine.h"
 #include "workload/workload.h"
 #include "runner/serialize.h"
 
@@ -91,6 +92,7 @@ TrialResult RunOneTrial(const TrialSpec& spec, const RunnerOptions& options,
   ctx.faults = &spec.faults;
   ctx.trace = !spec.trace_path.empty();
   ctx.shards = options.shards;
+  ctx.hybrid = options.hybrid;
   TrialResult r = spec.run(ctx);
   if (r.name.empty()) r.name = spec.name;
   r.trial_index = index;
@@ -172,12 +174,26 @@ CliOptions ParseCli(int argc, char** argv) {
     cli.error = msg +
                 " (flags: --jobs N --seed S --json PATH --csv PATH"
                 " --trace PREFIX --cc POLICY --workload NAME[:k=v,...]"
-                " --host PROFILE[:k=v,...] --shards N)";
+                " --host PROFILE[:k=v,...] --shards N --hybrid[:k=v,...])";
     return cli;
   };
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    // --hybrid[:k=v,...]: the spec rides after a colon (and may itself
+    // contain '='), so peel it before the generic '=' split. Bare --hybrid
+    // never consumes the next argument.
+    if (arg == "--hybrid" || arg.rfind("--hybrid:", 0) == 0) {
+      const std::string spec =
+          arg.size() > 9 ? arg.substr(9) : std::string("on");
+      hybrid::HybridConfig parsed;
+      if (!hybrid::ParseHybridSpec(spec == "on" ? "" : spec, &parsed)) {
+        return fail("bad --hybrid spec '" + spec +
+                    "' (keys: check eps queue_frac max_epoch guard release)");
+      }
+      cli.hybrid = spec;
+      continue;
+    }
     std::string value;
     // Accept --flag=value by splitting, --flag value by consuming argv[i+1].
     const size_t eq = arg.find('=');
@@ -252,6 +268,13 @@ CliOptions ParseCli(int argc, char** argv) {
       return fail("unknown flag '" + arg + "'");
     }
   }
+  // The hybrid controller is written against the single-queue, wire-only
+  // engine: suspension and analytic advance have no sharded or host-path
+  // counterparts yet.
+  if (!cli.hybrid.empty() && cli.shards >= 1)
+    return fail("--hybrid cannot be combined with --shards");
+  if (!cli.hybrid.empty() && !cli.host.empty())
+    return fail("--hybrid cannot be combined with --host");
   return cli;
 }
 

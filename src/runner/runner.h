@@ -57,6 +57,11 @@ struct TrialContext {
   // Network from a ShardPlan (net/shard.h); the value is never serialized,
   // so result bytes depend only on {matrix, base_seed} as before.
   int shards = 0;
+  // The --hybrid axis: empty = plain packet engine (byte-identical to every
+  // pre-hybrid binary); "on" or a "k=v,..." spec = wrap the trial's
+  // Network::Run in a hybrid::HybridEngine (ParseHybridSpec validated it).
+  // Mutually exclusive with shards and host (ParseCli enforces).
+  std::string hybrid;
 };
 
 // Structured output of one trial. All maps are std::map so iteration (and
@@ -107,6 +112,8 @@ struct RunnerOptions {
   uint64_t base_seed = 1;
   // Copied into every TrialContext (see TrialContext::shards).
   int shards = 0;
+  // Copied into every TrialContext (see TrialContext::hybrid).
+  std::string hybrid;
 };
 
 // Executes the matrix and returns results indexed by submission order.
@@ -138,7 +145,13 @@ std::vector<TrialResult> RunTrials(const std::vector<TrialSpec>& matrix,
 //   --shards N    intra-trial shards for benches whose trials support the
 //                 sharded engine (N >= 1; byte-identical across N). Absent =
 //                 the default single-queue engine.
-// Both `--flag value` and `--flag=value` are accepted.
+//   --hybrid[:k=v,...]  hybrid flow-level fast-forward (src/hybrid): bare
+//                 --hybrid takes the defaults; the optional spec tunes
+//                 check=<us> eps=<f> queue_frac=<f> max_epoch=<us>
+//                 guard=<us> release=<0|1>. Rejected when combined with
+//                 --shards or --host (single-queue, wire-only engine only).
+// Both `--flag value` and `--flag=value` are accepted; --hybrid's spec rides
+// after a colon and never consumes the next argument.
 struct CliOptions {
   int jobs = 1;
   uint64_t seed = 1;
@@ -149,6 +162,7 @@ struct CliOptions {
   std::string cc;             // empty = bench default policy
   std::string workload;       // empty = bench default pattern matrix
   std::string host;           // empty = no host-path device model
+  std::string hybrid;         // empty = packet engine; "on" or "k=v,..."
   bool ok = true;
   std::string error;  // set when !ok
 };

@@ -175,6 +175,26 @@ class EventQueue {
 
   size_t PendingEvents() const { return live_; }
 
+  // Returned by NextEventTime() when no live events remain.
+  static constexpr Time kNoEventTime = std::numeric_limits<Time>::max();
+
+  // Timestamp of the earliest live event without firing it, or kNoEventTime
+  // when the queue is drained. Prunes cancelled fronts (same path RunOne
+  // takes), so the answer is exact. The hybrid fast-forward controller uses
+  // this to bound analytic epochs by the next scheduled packet-level event
+  // (workload arrival timers, fault transitions, probes).
+  Time NextEventTime() {
+    switch (PrepareTop()) {
+      case TopSrc::kNone:
+        return kNoEventTime;
+      case TopSrc::kHeap:
+        return heap_[0].at;
+      case TopSrc::kReady:
+        return wheel_.ReadyFront().at;
+    }
+    return kNoEventTime;
+  }
+
   // Runs the next event; returns false if the queue had no live events.
   bool RunOne() {
     DCQCN_DCHECK(DebugAffinityOk());

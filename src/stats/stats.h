@@ -2,6 +2,7 @@
 // percentiles, CDFs, summaries, Jain's fairness index.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,11 +34,36 @@ Summary Summarize(const std::vector<double>& values);
 // Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 = perfectly fair.
 double JainIndex(const std::vector<double>& values);
 
-// Empirical CDF container.
+// Empirical CDF container. Optionally capped: SetCap(n) turns the container
+// into a deterministic reservoir sample (Vitter's algorithm R with a
+// splitmix64 hash of the sample index as the random source — no shared RNG
+// stream, so capped runs stay invariant across jobs/shard counts). size()
+// always reports the true number of Add calls; quantiles come from the
+// reservoir. Uncapped (the default) is byte-identical to the historical
+// grow-forever container. Million-flow trials cap their FCT/slowdown CDFs
+// so runner memory stays bounded by the cap, not the flow count.
 class Cdf {
  public:
-  void Add(double v) { values_.push_back(v); }
-  size_t size() const { return values_.size(); }
+  // Call before the first Add. 0 = unlimited (default).
+  void SetCap(size_t n) { cap_ = n; }
+  void Add(double v) {
+    ++total_;
+    sorted_ = false;
+    if (cap_ == 0 || values_.size() < cap_) {
+      values_.push_back(v);
+      return;
+    }
+    // Keep each of the `total_` samples with probability cap/total.
+    uint64_t z = total_ + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const uint64_t j = z % total_;
+    if (j < cap_) values_[static_cast<size_t>(j)] = v;
+  }
+  size_t size() const { return static_cast<size_t>(total_); }
+  // Number of retained samples (== size() unless capped).
+  size_t reservoir_size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
   // Value at quantile p in [0,1].
   double Quantile(double p) const;
@@ -54,6 +80,8 @@ class Cdf {
  private:
   mutable std::vector<double> values_;
   mutable bool sorted_ = false;
+  size_t cap_ = 0;
+  uint64_t total_ = 0;
   void Sort() const;
 };
 

@@ -1,0 +1,309 @@
+// Conformance suite for the hybrid packet/flow fast-forward engine
+// (src/hybrid/): the allocator's max-min fixed point, the --hybrid spec
+// grammar, and the engine's accuracy contract against the pure packet
+// engine — exact FCT equality on an uncongested fabric with zero pacing
+// jitter, bounded FCT error under load, byte-identical runner output across
+// --jobs, composition with every registered rate-based CC policy, and
+// packet-mode fallback around faults and window-based transports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "fault/fault_plan.h"
+#include "hybrid/allocator.h"
+#include "hybrid/engine.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "runner/runner.h"
+#include "runner/serialize.h"
+
+namespace dcqcn {
+namespace {
+
+using hybrid::AllocDemand;
+using hybrid::AllocResult;
+using hybrid::HybridConfig;
+using hybrid::HybridEngine;
+using hybrid::MaxMinAllocate;
+using hybrid::ParseHybridSpec;
+
+// ---------- allocator ----------
+
+TEST(MaxMinAllocator, SingleFlowTakesMinOfCapAndLink) {
+  const std::vector<Rate> links = {Gbps(40)};
+  AllocResult r = MaxMinAllocate({{Gbps(25), {0}}}, links);
+  ASSERT_EQ(r.rate.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rate[0], Gbps(25));
+
+  r = MaxMinAllocate({{Gbps(100), {0}}}, links);
+  EXPECT_DOUBLE_EQ(r.rate[0], Gbps(40));
+}
+
+TEST(MaxMinAllocator, EqualSplitOnSharedBottleneck) {
+  const std::vector<Rate> links = {Gbps(40)};
+  const AllocResult r =
+      MaxMinAllocate({{Gbps(40), {0}}, {Gbps(40), {0}}}, links);
+  ASSERT_EQ(r.rate.size(), 2u);
+  EXPECT_NEAR(r.rate[0], Gbps(20), 1.0);
+  EXPECT_NEAR(r.rate[1], Gbps(20), 1.0);
+}
+
+TEST(MaxMinAllocator, CapFreezeRedistributesHeadroom) {
+  // Flow 0 freezes at its 10 Gbps cap; flow 1 absorbs the rest of the link.
+  const std::vector<Rate> links = {Gbps(40)};
+  const AllocResult r =
+      MaxMinAllocate({{Gbps(10), {0}}, {Gbps(40), {0}}}, links);
+  EXPECT_NEAR(r.rate[0], Gbps(10), 1.0);
+  EXPECT_NEAR(r.rate[1], Gbps(30), 1.0);
+}
+
+TEST(MaxMinAllocator, ClassicTwoBottleneckMaxMin) {
+  // Links: A (10), B (40). Flow 0 crosses A only, flow 1 crosses A and B,
+  // flow 2 crosses B only. Max-min: flows 0/1 split A at 5 each; flow 2
+  // takes B's remainder, 35.
+  const std::vector<Rate> links = {Gbps(10), Gbps(40)};
+  const AllocResult r = MaxMinAllocate(
+      {{Gbps(40), {0}}, {Gbps(40), {0, 1}}, {Gbps(40), {1}}}, links);
+  EXPECT_NEAR(r.rate[0], Gbps(5), 1.0);
+  EXPECT_NEAR(r.rate[1], Gbps(5), 1.0);
+  EXPECT_NEAR(r.rate[2], Gbps(35), 1.0);
+}
+
+TEST(MaxMinAllocator, EmptyDemandsYieldEmptyResult) {
+  const AllocResult r = MaxMinAllocate({}, {Gbps(40)});
+  EXPECT_TRUE(r.rate.empty());
+}
+
+// ---------- spec grammar ----------
+
+TEST(HybridSpec, EmptyMeansDefaults) {
+  HybridConfig cfg;
+  ASSERT_TRUE(ParseHybridSpec("", &cfg));
+  const HybridConfig def;
+  EXPECT_EQ(cfg.check_interval, def.check_interval);
+  EXPECT_EQ(cfg.eps, def.eps);
+  EXPECT_EQ(cfg.release_completed, def.release_completed);
+}
+
+TEST(HybridSpec, ParsesEveryKey) {
+  HybridConfig cfg;
+  ASSERT_TRUE(ParseHybridSpec(
+      "check=50,eps=0.05,queue_frac=0.5,max_epoch=500,guard=10,release=1",
+      &cfg));
+  EXPECT_EQ(cfg.check_interval, Microseconds(50));
+  EXPECT_DOUBLE_EQ(cfg.eps, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.queue_frac, 0.5);
+  EXPECT_EQ(cfg.max_epoch, Microseconds(500));
+  EXPECT_EQ(cfg.fault_guard, Microseconds(10));
+  EXPECT_TRUE(cfg.release_completed);
+}
+
+TEST(HybridSpec, RejectsUnknownKeysAndMalformedValues) {
+  HybridConfig cfg;
+  EXPECT_FALSE(ParseHybridSpec("bogus=1", &cfg));
+  EXPECT_FALSE(ParseHybridSpec("eps=abc", &cfg));
+  EXPECT_FALSE(ParseHybridSpec("check=", &cfg));
+  EXPECT_FALSE(ParseHybridSpec("check", &cfg));
+}
+
+// ---------- engine vs packet engine ----------
+
+// Node-id layout produced by BuildClos: ToRs, leaves, spines, then hosts
+// ToR-major (shard_test pins this for the partitioner).
+int HostId(const ClosShape& s, int tor, int h) {
+  return s.num_tors() + s.num_leaves() + s.spines + tor * s.hosts_per_tor + h;
+}
+
+struct DisjointRun {
+  std::map<int, Time> finish;  // flow id -> sender-side completion time
+  uint64_t events = 0;
+  hybrid::HybridStats stats;
+};
+
+// One bounded flow inside each ToR of the paper testbed (host 0 -> host 1,
+// two dedicated host links per flow, no shared fabric links), with pacing
+// jitter disabled — the regime where the analytic model's integer
+// arithmetic must reproduce the packet engine's FCTs exactly.
+DisjointRun RunDisjointPairs(bool use_hybrid) {
+  const ClosShape shape{};  // 4 ToRs / 20 hosts
+  Network net(/*seed=*/11);
+  TopologyOptions topt;
+  topt.nic_config.pacing_jitter = 0.0;
+  const ClosTopology topo = BuildClos(net, shape, topt);
+  HybridConfig cfg;
+  cfg.check_interval = Microseconds(5);
+  std::optional<HybridEngine> hyb;
+  if (use_hybrid) hyb.emplace(&net, cfg);
+
+  std::vector<RdmaNic*> senders;
+  for (int tor = 0; tor < shape.num_tors(); ++tor) {
+    FlowSpec fs;
+    fs.flow_id = net.NextFlowId();
+    fs.src_host = HostId(shape, tor, 0);
+    fs.dst_host = HostId(shape, tor, 1);
+    fs.size_bytes = 256 * kKB;
+    net.StartFlow(fs);
+    senders.push_back(topo.hosts_by_tor[static_cast<size_t>(tor)][0]);
+  }
+
+  DisjointRun out;
+  out.events = use_hybrid ? hyb->Run(Milliseconds(1)) : net.Run(Milliseconds(1));
+  for (const RdmaNic* nic : senders) {
+    for (const FlowRecord& rec : nic->completed_flows()) {
+      out.finish[rec.spec.flow_id] = rec.finish_time;
+    }
+  }
+  if (use_hybrid) out.stats = hyb->stats();
+  return out;
+}
+
+TEST(HybridEngine, ExactFctEqualityOnUncongestedFabric) {
+  const DisjointRun packet = RunDisjointPairs(/*use_hybrid=*/false);
+  const DisjointRun hybrid = RunDisjointPairs(/*use_hybrid=*/true);
+
+  ASSERT_EQ(packet.finish.size(), 4u);
+  ASSERT_EQ(hybrid.finish.size(), 4u);
+  for (const auto& [flow_id, t] : packet.finish) {
+    ASSERT_TRUE(hybrid.finish.count(flow_id));
+    // Picosecond-exact: the analytic pacing/serialization arithmetic must
+    // match SenderQp and Link::Transmit bit for bit.
+    EXPECT_EQ(hybrid.finish.at(flow_id), t) << "flow " << flow_id;
+  }
+  // The fast path must actually engage — otherwise this test is vacuous.
+  EXPECT_GE(hybrid.stats.epochs, 1);
+  EXPECT_GT(hybrid.stats.ff_packets, 0);
+  EXPECT_GT(hybrid.stats.ff_completions, 0);
+  EXPECT_LT(hybrid.events, packet.events);
+}
+
+// Runs the ScaleTrial harness (one mid-size Clos case, open-loop Poisson)
+// with the given hybrid spec; returns the serialized results.
+std::vector<runner::TrialResult> RunPoissonCase(const std::string& hybrid,
+                                                const std::string& cc,
+                                                double load_gbps,
+                                                const FaultPlan* faults,
+                                                int jobs) {
+  bench::ScaleCase c;
+  c.name = "hybrid_conformance";
+  c.shape = ClosShape{.pods = 4, .tors_per_pod = 2, .leaves_per_pod = 2,
+                      .spines = 4, .hosts_per_tor = 8};  // 64 hosts
+  c.duration = Milliseconds(2);
+  bench::ScaleTrialOptions topt;
+  topt.cc = runner::ResolveCc(cc, TransportMode::kRdmaDcqcn);
+  char wl[64];
+  std::snprintf(wl, sizeof(wl), "poisson:load_gbps=%.6g", load_gbps);
+  topt.workload = wl;
+  topt.workload_size_scale = 0.3;
+  std::vector<runner::TrialSpec> matrix = {bench::ScaleTrial(c, topt)};
+  if (faults != nullptr) matrix[0].faults = *faults;
+  runner::RunnerOptions opt;
+  opt.jobs = jobs;
+  opt.base_seed = 23;
+  opt.hybrid = hybrid;
+  return runner::RunTrials(matrix, opt);
+}
+
+TEST(HybridEngine, MedianFctWithinFivePercentUnderLoad) {
+  // ~5% offered load: enough concurrency that flows really collide (the
+  // hybrid run must mix packet-mode congestion with fast-forwarded epochs).
+  const auto packet = RunPoissonCase("", "", 128.0, nullptr, 1);
+  const auto hybrid = RunPoissonCase("on", "", 128.0, nullptr, 1);
+  ASSERT_EQ(packet.size(), 1u);
+  ASSERT_EQ(hybrid.size(), 1u);
+
+  // Same arrival process on both engines.
+  EXPECT_EQ(packet[0].counters.at("wl_started"),
+            hybrid[0].counters.at("wl_started"));
+  // The fast path engaged at least once.
+  EXPECT_GE(hybrid[0].counters.at("hybrid_epochs"), 1);
+
+  const Summary& pf = packet[0].summaries.at("wl_fct_us");
+  const Summary& hf = hybrid[0].summaries.at("wl_fct_us");
+  ASSERT_GT(pf.count, 50u);
+  ASSERT_GT(hf.count, 50u);
+  EXPECT_NEAR(hf.median, pf.median, 0.05 * pf.median);
+  EXPECT_NEAR(hf.mean, pf.mean, 0.05 * pf.mean);
+}
+
+TEST(HybridEngine, RunnerOutputByteIdenticalAcrossJobs) {
+  bench::ScaleTrialOptions topt;
+  topt.workload = "poisson:load_gbps=50";
+  topt.workload_size_scale = 0.3;
+  topt.fct_reservoir = 128;        // exercise the capped-Cdf path too
+  topt.retain_flow_records = false;
+  std::vector<runner::TrialSpec> matrix;
+  for (const bench::ScaleCase& c : bench::ScaleCases(/*smoke=*/true)) {
+    matrix.push_back(bench::ScaleTrial(c, topt));
+  }
+  runner::RunnerOptions opt;
+  opt.base_seed = 5;
+  opt.hybrid = "release=1,check=5";
+  opt.jobs = 1;
+  const std::string serial =
+      runner::ResultsToJson(runner::RunTrials(matrix, opt));
+  opt.jobs = 8;
+  const std::string parallel =
+      runner::ResultsToJson(runner::RunTrials(matrix, opt));
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("hybrid_epochs"), std::string::npos);
+}
+
+TEST(HybridEngine, ComposesWithEveryRateBasedPolicy) {
+  for (const std::string cc : {"dcqcn", "timely"}) {
+    const auto packet = RunPoissonCase("", cc, 32.0, nullptr, 1);
+    const auto hybrid = RunPoissonCase("on", cc, 32.0, nullptr, 1);
+    // Identical arrival stream; completions may shift only for flows still
+    // in flight at the window edge.
+    EXPECT_EQ(packet[0].counters.at("wl_started"),
+              hybrid[0].counters.at("wl_started"))
+        << cc;
+    const double pc = static_cast<double>(packet[0].counters.at("wl_completed"));
+    const double hc = static_cast<double>(hybrid[0].counters.at("wl_completed"));
+    EXPECT_NEAR(hc, pc, std::max(2.0, 0.02 * pc)) << cc;
+    EXPECT_GE(hybrid[0].counters.at("hybrid_epochs"), 1) << cc;
+  }
+}
+
+TEST(HybridEngine, WindowBasedTransportNeverEntersFlowMode) {
+  // DCTCP is window-based: the gate must reject every probe, and with zero
+  // epochs the hybrid run must reproduce the packet run's numbers exactly.
+  const auto packet = RunPoissonCase("", "dctcp", 32.0, nullptr, 1);
+  const auto hybrid = RunPoissonCase("on", "dctcp", 32.0, nullptr, 1);
+  EXPECT_EQ(hybrid[0].counters.at("hybrid_epochs"), 0);
+  for (const char* k : {"wl_started", "wl_completed", "events",
+                        "delivered_bytes", "cnps", "drops"}) {
+    EXPECT_EQ(packet[0].counters.at(k), hybrid[0].counters.at(k)) << k;
+  }
+}
+
+TEST(HybridEngine, FaultPlansForcePacketModeAndMatchInjection) {
+  // A mid-run link flap plus a lossy window. The controller must never
+  // fast-forward across a boundary (fault_guard), and the injection itself
+  // — a packet-level mechanism — must execute identically.
+  FaultPlan plan;
+  const ClosShape s{.pods = 4, .tors_per_pod = 2, .leaves_per_pod = 2,
+                    .spines = 4, .hosts_per_tor = 8};
+  const int tor0 = 0;
+  const int leaf0 = s.num_tors();
+  plan.Add(LinkFlap(tor0, leaf0, Microseconds(300), Microseconds(200)));
+  plan.Add(PacketLoss(tor0, leaf0, Microseconds(900), Microseconds(300),
+                      0.02));
+  const auto packet = RunPoissonCase("", "", 64.0, &plan, 1);
+  const auto hybrid = RunPoissonCase("on", "", 64.0, &plan, 1);
+  EXPECT_EQ(packet[0].counters.at("faults_started"),
+            hybrid[0].counters.at("faults_started"));
+  EXPECT_EQ(packet[0].counters.at("faults_healed"),
+            hybrid[0].counters.at("faults_healed"));
+  EXPECT_EQ(packet[0].counters.at("wl_started"),
+            hybrid[0].counters.at("wl_started"));
+  const double pc = static_cast<double>(packet[0].counters.at("wl_completed"));
+  const double hc = static_cast<double>(hybrid[0].counters.at("wl_completed"));
+  EXPECT_NEAR(hc, pc, std::max(2.0, 0.02 * pc));
+}
+
+}  // namespace
+}  // namespace dcqcn

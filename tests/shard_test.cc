@@ -134,6 +134,31 @@ TEST(ClosShardPlan, BoundaryLinksGetBothDirectionsAndPositiveLookahead) {
   }
 }
 
+TEST(ClosShardPlan, ShortHostWiresDoNotShrinkTheWindow) {
+  // Adaptive per-cut lookahead: a link whose endpoints share a partition
+  // unit (a host and its ToR) can never cross a shard boundary, so its
+  // propagation must not bound the window. With 100 ns host wires and 1 us
+  // fabric links, the window stays at the fabric minimum — the legacy
+  // global-minimum rule would have dragged it down 10x.
+  for (const ClosShape& s : TestShapes()) {
+    const ShardPlan plan = MakeClosShardPlan(s, 2);
+    ASSERT_TRUE(plan.ok) << plan.error;
+
+    TopologyOptions short_wires;
+    short_wires.host_link_delay = Nanoseconds(100);
+    Network net(/*seed=*/1, plan);
+    BuildClos(net, s, short_wires);
+    EXPECT_EQ(net.lookahead(), short_wires.link_delay);
+
+    // Control: shortening a crossing (fabric) link *does* shrink it.
+    TopologyOptions short_fabric;
+    short_fabric.link_delay = Nanoseconds(100);
+    Network net2(/*seed=*/1, plan);
+    BuildClos(net2, s, short_fabric);
+    EXPECT_EQ(net2.lookahead(), Nanoseconds(100));
+  }
+}
+
 // ---------- shards=1 ≡ shards=N on the ext_scale matrix ----------
 
 // A fault plan whose targets straddle every >=2-way ToR cut of `s`: leaf 0

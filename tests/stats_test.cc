@@ -92,6 +92,47 @@ TEST(Cdf, PointsAreMonotone) {
   }
 }
 
+TEST(Cdf, UncappedStaysByteIdenticalToHistoricalContainer) {
+  // SetCap(0) / never calling SetCap must change nothing: every sample
+  // retained in insertion order, size() == reservoir_size().
+  Cdf plain, capped_at_zero;
+  capped_at_zero.SetCap(0);
+  for (int i = 0; i < 500; ++i) {
+    const double v = (i * 37) % 101;
+    plain.Add(v);
+    capped_at_zero.Add(v);
+  }
+  EXPECT_EQ(plain.size(), 500u);
+  EXPECT_EQ(plain.reservoir_size(), 500u);
+  EXPECT_EQ(plain.Values(), capped_at_zero.Values());
+}
+
+TEST(Cdf, CappedReservoirBoundsMemoryAndKeepsTrueCount) {
+  Cdf c;
+  c.SetCap(64);
+  for (int i = 0; i < 10000; ++i) c.Add(static_cast<double>(i));
+  EXPECT_EQ(c.size(), 10000u);        // true Add count
+  EXPECT_EQ(c.reservoir_size(), 64u); // retained samples bounded by the cap
+  // Quantiles come from the reservoir and stay inside the sample range.
+  EXPECT_GE(c.Quantile(0.0), 0.0);
+  EXPECT_LE(c.Quantile(1.0), 9999.0);
+  // Reservoir selection is a pure function of the sample index — two
+  // identically fed capped CDFs agree exactly (jobs/shard invariance).
+  Cdf d;
+  d.SetCap(64);
+  for (int i = 0; i < 10000; ++i) d.Add(static_cast<double>(i));
+  EXPECT_EQ(c.Values(), d.Values());
+}
+
+TEST(Cdf, CapLargerThanSampleCountIsExact) {
+  Cdf c;
+  c.SetCap(1000);
+  for (int i = 0; i < 100; ++i) c.Add(static_cast<double>(99 - i));
+  EXPECT_EQ(c.size(), 100u);
+  EXPECT_EQ(c.reservoir_size(), 100u);
+  EXPECT_DOUBLE_EQ(c.Quantile(1.0), 99.0);
+}
+
 TEST(TimeSeries, MeanAndMaxOverWindow) {
   TimeSeries ts;
   ts.Add(Milliseconds(1), 10);
